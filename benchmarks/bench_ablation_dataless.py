@@ -1,0 +1,93 @@
+"""Ablation 2 (DESIGN.md abl-2): dataless-index guidance on/off.
+
+Algorithm 5 line 6 picks the single range column of a candidate by the
+*dataless index cost* of ``<C_IPP, {c}>`` -- one of the three places AIM
+consults the optimizer (Sec. V-B).  Without it, the choice degrades to
+an arbitrary (first) range column.
+
+The workload is built so the arbitrary choice is the wrong one: every
+query carries one wide range predicate on an alphabetically-early column
+and one narrow range on a late column.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import Column, INT, Table, varchar
+from repro.core import AimAdvisor, AimConfig
+from repro.engine import Database
+from repro.optimizer import CostEvaluator
+from repro.stats import SyntheticColumn, synthesize_table
+from repro.workload import Workload
+
+from harness import GIB, print_header, print_table, save_results
+
+
+def build_case():
+    table = Table(
+        "metrics",
+        [
+            Column("id", INT),
+            Column("a_wide", INT),      # alphabetically first, unselective
+            Column("z_narrow", INT),    # selective range column
+            Column("kind", varchar(8)),
+            Column("value", INT),
+        ],
+        ("id",),
+    )
+    db = Database.from_tables([table], with_storage=False)
+    db.set_stats("metrics", synthesize_table(4_000_000, {
+        "id": SyntheticColumn(ndv=-1, lo=1, hi=4_000_000),
+        "a_wide": SyntheticColumn(ndv=100, lo=0, hi=100),
+        "z_narrow": SyntheticColumn(ndv=1_000_000, lo=0, hi=1_000_000),
+        "kind": SyntheticColumn(ndv=20),
+        "value": SyntheticColumn(ndv=10_000, lo=0, hi=10_000),
+    }))
+    workload = Workload.from_sql([
+        # a_wide > 10 matches ~90% of rows; z_narrow < 1000 matches ~0.1%.
+        (f"SELECT value FROM metrics WHERE kind = 'k{i}' "
+         f"AND a_wide > 10 AND z_narrow < {1000 + i}", 10.0)
+        for i in range(6)
+    ], name="skewed-ranges")
+    return db, workload
+
+
+def run_experiment():
+    db, workload = build_case()
+    out = {}
+    for guided in (True, False):
+        advisor = AimAdvisor(
+            db, AimConfig(use_dataless_guidance=guided, covering_phase=False)
+        )
+        rec = advisor.recommend(workload, 2 * GIB)
+        evaluator = CostEvaluator(db)
+        cost = evaluator.workload_cost(
+            workload.pairs(), [i.as_dataless() for i in rec.indexes]
+        )
+        out["dataless_on" if guided else "dataless_off"] = {
+            "indexes": [str(i) for i in rec.indexes],
+            "workload_cost": cost,
+            "optimizer_calls": rec.optimizer_calls,
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="ablation-dataless")
+def test_ablation_dataless(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    print_header("Ablation: dataless-index range column choice (Sec. V-B)")
+    rows = [
+        [mode, f"{r['workload_cost']:.4g}", r["optimizer_calls"],
+         "; ".join(r["indexes"])]
+        for mode, r in results.items()
+    ]
+    print_table(["mode", "workload cost", "optimizer calls", "chosen indexes"], rows)
+    save_results("ablation_dataless", results)
+
+    on = results["dataless_on"]
+    off = results["dataless_off"]
+    assert on["workload_cost"] < off["workload_cost"], \
+        "dataless guidance must pick the selective range column"
+    assert any("z_narrow" in idx for idx in on["indexes"])

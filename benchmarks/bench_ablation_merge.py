@@ -1,0 +1,107 @@
+"""Ablation 1 (DESIGN.md abl-1): partial order merging on/off.
+
+Sec. III-E's merging consolidates per-query candidates into shared wide
+indexes.  With merging disabled, AIM degenerates to per-query candidates:
+more indexes, more storage for the same (or worse) workload cost.
+
+We measure on a prefix-overlap workload (many queries sharing predicate
+column subsets -- the situation merging exists for) and on TPC-H.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AimAdvisor, AimConfig
+from repro.optimizer import CostEvaluator
+from repro.workload import Workload
+from repro.workloads.tpch import tpch_database, tpch_workload
+
+from harness import GIB, fmt_bytes, print_header, print_table, save_results
+
+
+def prefix_overlap_workload() -> tuple:
+    """Queries over one table whose predicates form subset chains."""
+    from repro.catalog import Column, INT, Table, varchar
+    from repro.engine import Database
+    from repro.stats import SyntheticColumn, synthesize_table
+
+    table = Table(
+        "events",
+        [Column("id", INT)] + [Column(f"col{i}", INT) for i in range(1, 6)]
+        + [Column("payload", varchar(64))],
+        ("id",),
+    )
+    db = Database.from_tables([table], with_storage=False)
+    # Low per-column NDV: no two-column prefix is selective enough on its
+    # own; the merged three-column order is what makes queries cheap.
+    spec = {"id": SyntheticColumn(ndv=-1, lo=1, hi=5_000_000)}
+    for i in range(1, 6):
+        spec[f"col{i}"] = SyntheticColumn(ndv=30, lo=0, hi=30)
+    spec["payload"] = SyntheticColumn(ndv=-1)
+    db.set_stats("events", synthesize_table(5_000_000, spec))
+
+    # The heavy queries filter on {col1, col2, col3}; lighter ones on
+    # subsets {col2, col3} / {col2}.  Merging produces the one order --
+    # <{col2, col3}, {col1}> -- whose index serves all of them; without
+    # it the per-query linearization (col1, col2, col3) strands the
+    # subset queries on seq scans.
+    workload = Workload.from_sql([
+        ("SELECT payload FROM events WHERE col2 = 10 AND col3 = 20", 10.0),
+        ("SELECT payload FROM events WHERE col1 = 5 AND col2 = 10 AND col3 = 20", 50.0),
+        ("SELECT payload FROM events WHERE col2 = 11", 15.0),
+        ("SELECT payload FROM events WHERE col2 = 12 AND col3 = 21 AND col4 = 3", 10.0),
+        ("SELECT payload FROM events WHERE col3 = 22 AND col2 = 13 AND col1 = 6", 40.0),
+    ], name="prefix-overlap")
+    return db, workload
+
+
+def run_case(db, workload, budget):
+    out = {}
+    for merging in (True, False):
+        advisor = AimAdvisor(db, AimConfig(merge_orders=merging))
+        rec = advisor.recommend(workload, budget)
+        evaluator = CostEvaluator(db)
+        cost = evaluator.workload_cost(
+            workload.pairs(), [i.as_dataless() for i in rec.indexes]
+        )
+        out["merge_on" if merging else "merge_off"] = {
+            "n_indexes": len(rec.indexes),
+            "total_size": rec.total_size_bytes,
+            "workload_cost": cost,
+            "runtime_s": round(rec.runtime_seconds, 3),
+        }
+    return out
+
+
+def run_experiment():
+    db, workload = prefix_overlap_workload()
+    # Merging pays off under budget pressure: one shared wide index must
+    # replace several per-query ones.  ~250 MB fits a single 5M-row index.
+    overlap = run_case(db, workload, 250 << 20)
+    tpch = run_case(tpch_database(10), tpch_workload(), 15 * GIB)
+    return {"prefix_overlap": overlap, "tpch": tpch}
+
+
+@pytest.mark.benchmark(group="ablation-merge")
+def test_ablation_merge(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    print_header("Ablation: MergePartialOrders (Sec. III-E) on vs off")
+    rows = []
+    for case, data in results.items():
+        for mode, r in data.items():
+            rows.append([
+                case, mode, r["n_indexes"], fmt_bytes(r["total_size"]),
+                f"{r['workload_cost']:.4g}", r["runtime_s"],
+            ])
+    print_table(
+        ["workload", "merging", "#indexes", "total size", "workload cost", "runtime"],
+        rows,
+    )
+    save_results("ablation_merge", results)
+
+    overlap = results["prefix_overlap"]
+    assert overlap["merge_on"]["workload_cost"] < \
+        overlap["merge_off"]["workload_cost"], \
+        "under a tight budget, shared merged indexes must win"

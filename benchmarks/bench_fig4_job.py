@@ -1,0 +1,65 @@
+"""Fig 4(c, d): JOB (IMDB) -- estimated workload cost and advisor runtime
+vs storage budget for AIM, DTA and Extend (max index width 3, matching
+the paper's DTA feasibility limit for JOB)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import AimAlgorithm, DtaAlgorithm, ExtendAlgorithm
+from repro.workloads.job import job_database, job_workload
+
+from harness import GIB, print_header, print_table, save_results
+
+BUDGETS_GB = [1, 2, 4, 8]
+MAX_WIDTH = 3
+
+
+def run_sweep():
+    db = job_database()
+    workload = job_workload()
+    algorithms = {
+        "aim": lambda: AimAlgorithm(db),
+        "dta": lambda: DtaAlgorithm(db, max_width=MAX_WIDTH, time_limit_seconds=30.0),
+        "extend": lambda: ExtendAlgorithm(db, max_width=MAX_WIDTH, time_limit_seconds=45.0),
+    }
+    series = {
+        name: {"relative_cost": [], "runtime_s": [], "optimizer_calls": []}
+        for name in algorithms
+    }
+    for budget_gb in BUDGETS_GB:
+        for name, factory in algorithms.items():
+            result = factory().select(workload, budget_gb * GIB)
+            series[name]["relative_cost"].append(round(result.relative_cost, 4))
+            series[name]["runtime_s"].append(round(result.runtime_seconds, 3))
+            series[name]["optimizer_calls"].append(result.optimizer_calls)
+    return series
+
+
+@pytest.mark.benchmark(group="fig4-job")
+def test_fig4_job(benchmark):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print_header(
+        "Fig 4c -- JOB: estimated workload cost relative to unindexed, by budget"
+    )
+    rows = [
+        [f"{gb} GB"] + [series[a]["relative_cost"][i] for a in series]
+        for i, gb in enumerate(BUDGETS_GB)
+    ]
+    print_table(["budget"] + list(series), rows)
+
+    print_header("Fig 4d -- JOB: advisor runtime (seconds), by budget")
+    rows = [
+        [f"{gb} GB"] + [series[a]["runtime_s"][i] for a in series]
+        for i, gb in enumerate(BUDGETS_GB)
+    ]
+    print_table(["budget"] + list(series), rows)
+
+    save_results("fig4_job", {"budgets_gb": BUDGETS_GB, "series": series})
+
+    aim_final = series["aim"]["relative_cost"][-1]
+    assert aim_final < 0.5, "JOB's selective joins should improve strongly"
+    assert max(series["aim"]["runtime_s"]) < min(
+        max(series["dta"]["runtime_s"]), max(series["extend"]["runtime_s"])
+    ), "AIM should be the fastest advisor on JOB"

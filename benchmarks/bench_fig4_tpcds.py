@@ -1,0 +1,66 @@
+"""Fig 4 appendix: TPC-DS (SF 10) cost & runtime vs budget.
+
+The paper ran TPC-DS alongside TPC-H and JOB but omitted its graphs:
+"Graphs from TPC-DS benchmark followed the same trend" (Sec. VI-B).
+This bench verifies the trend on the core-schema TPC-DS workload, with
+the paper's width limits (DTA struggled beyond width 3 on TPC-DS).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import AimAlgorithm, DtaAlgorithm, ExtendAlgorithm
+from repro.workloads.tpcds import tpcds_database, tpcds_workload
+
+from harness import GIB, print_header, print_table, save_results
+
+BUDGETS_GB = [2, 5, 10]
+MAX_WIDTH = 3
+
+
+def run_sweep():
+    db = tpcds_database(scale_factor=10)
+    workload = tpcds_workload()
+    algorithms = {
+        "aim": lambda: AimAlgorithm(db),
+        "dta": lambda: DtaAlgorithm(db, max_width=MAX_WIDTH, time_limit_seconds=30.0),
+        "extend": lambda: ExtendAlgorithm(db, max_width=MAX_WIDTH, time_limit_seconds=45.0),
+    }
+    series = {
+        name: {"relative_cost": [], "runtime_s": [], "optimizer_calls": []}
+        for name in algorithms
+    }
+    for budget_gb in BUDGETS_GB:
+        for name, factory in algorithms.items():
+            result = factory().select(workload, budget_gb * GIB)
+            series[name]["relative_cost"].append(round(result.relative_cost, 4))
+            series[name]["runtime_s"].append(round(result.runtime_seconds, 3))
+            series[name]["optimizer_calls"].append(result.optimizer_calls)
+    return series
+
+
+@pytest.mark.benchmark(group="fig4-tpcds")
+def test_fig4_tpcds(benchmark):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print_header("TPC-DS SF10: relative estimated cost by budget (Fig 4 trend)")
+    rows = [
+        [f"{gb} GB"] + [series[a]["relative_cost"][i] for a in series]
+        for i, gb in enumerate(BUDGETS_GB)
+    ]
+    print_table(["budget"] + list(series), rows)
+    print_header("TPC-DS SF10: advisor runtime (seconds) by budget")
+    rows = [
+        [f"{gb} GB"] + [series[a]["runtime_s"][i] for a in series]
+        for i, gb in enumerate(BUDGETS_GB)
+    ]
+    print_table(["budget"] + list(series), rows)
+    save_results("fig4_tpcds", {"budgets_gb": BUDGETS_GB, "series": series})
+
+    # Same trend: AIM improves with budget and stays the fastest advisor.
+    aim = series["aim"]
+    assert aim["relative_cost"][-1] <= aim["relative_cost"][0] + 1e-9
+    assert max(aim["runtime_s"]) < min(
+        max(series["dta"]["runtime_s"]), max(series["extend"]["runtime_s"])
+    )

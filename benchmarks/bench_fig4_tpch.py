@@ -1,0 +1,88 @@
+"""Fig 4(a, b): TPC-H SF 10 -- estimated workload cost and advisor
+runtime vs storage budget, for AIM, DTA and Extend (max index width 4).
+
+Paper's expected shape:
+* 4a: all curves drop with budget; AIM can trail DTA/Extend at tight
+  budgets (granularity tradeoff) and is at par once budgets relax.
+* 4b: AIM's runtime is flat and orders of magnitude below both baselines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import AimAlgorithm, DtaAlgorithm, ExtendAlgorithm
+from repro.workloads.tpch import tpch_database, tpch_workload
+
+from harness import GIB, print_header, print_table, save_results
+
+#: Budget sweep (paper: 0..15 GB for TPC-H SF 10).
+BUDGETS_GB = [2, 5, 10, 15]
+MAX_WIDTH = 4
+
+
+def make_algorithms(db):
+    return {
+        "aim": lambda: AimAlgorithm(db),
+        "dta": lambda: DtaAlgorithm(db, max_width=MAX_WIDTH, time_limit_seconds=30.0),
+        "extend": lambda: ExtendAlgorithm(db, max_width=MAX_WIDTH, time_limit_seconds=45.0),
+    }
+
+
+def run_sweep():
+    db = tpch_database(scale_factor=10)
+    workload = tpch_workload()
+    algorithms = make_algorithms(db)
+    series: dict[str, dict[str, list[float]]] = {
+        name: {"relative_cost": [], "runtime_s": [], "optimizer_calls": []}
+        for name in algorithms
+    }
+    for budget_gb in BUDGETS_GB:
+        for name, factory in algorithms.items():
+            result = factory().select(workload, budget_gb * GIB)
+            series[name]["relative_cost"].append(round(result.relative_cost, 4))
+            series[name]["runtime_s"].append(round(result.runtime_seconds, 3))
+            series[name]["optimizer_calls"].append(result.optimizer_calls)
+    return series
+
+
+@pytest.mark.benchmark(group="fig4-tpch")
+def test_fig4_tpch(benchmark):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print_header(
+        "Fig 4a -- TPC-H SF10: estimated workload cost relative to "
+        "unindexed, by budget"
+    )
+    rows = [
+        [f"{gb} GB"] + [series[a]["relative_cost"][i] for a in series]
+        for i, gb in enumerate(BUDGETS_GB)
+    ]
+    print_table(["budget"] + list(series), rows)
+
+    print_header("Fig 4b -- TPC-H SF10: advisor runtime (seconds), by budget")
+    rows = [
+        [f"{gb} GB"] + [series[a]["runtime_s"][i] for a in series]
+        for i, gb in enumerate(BUDGETS_GB)
+    ]
+    print_table(["budget"] + list(series), rows)
+
+    print_header("Optimizer calls (the runtime driver, Sec. VIII-a)")
+    rows = [
+        [f"{gb} GB"] + [series[a]["optimizer_calls"][i] for a in series]
+        for i, gb in enumerate(BUDGETS_GB)
+    ]
+    print_table(["budget"] + list(series), rows)
+
+    save_results(
+        "fig4_tpch", {"budgets_gb": BUDGETS_GB, "series": series}
+    )
+
+    # Shape assertions (the claims under test).
+    for name in series:
+        costs = series[name]["relative_cost"]
+        assert costs[-1] <= costs[0] + 1e-9, f"{name} should improve with budget"
+    aim_runtime = max(series["aim"]["runtime_s"])
+    assert aim_runtime * 10 < max(series["dta"]["runtime_s"]) or \
+        aim_runtime * 10 < max(series["extend"]["runtime_s"]), \
+        "AIM's runtime should be an order of magnitude below the baselines"

@@ -1,0 +1,108 @@
+"""Fig 5(a, b): per-query estimated processing costs, TPC-H SF 10,
+budget 15 GB, for AIM, DTA and Extend.
+
+* 5a: queries where indexes had an effect -- per-query costs should be
+  similar across algorithms.
+* 5b: expensive queries (log scale).  The paper notes one outlier: AIM
+  chooses a covering index for Q21 which PostgreSQL's optimizer *costs*
+  higher although actual execution was similar; we report whether AIM
+  picked a covering lineitem index for Q21.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import AimAlgorithm, DtaAlgorithm, ExtendAlgorithm
+from repro.core.explain import PHASE_COVERING
+from repro.core import AimAdvisor
+from repro.optimizer import CostEvaluator
+from repro.workloads.tpch import tpch_database, tpch_workload
+
+from harness import GIB, print_header, print_table, save_results
+
+BUDGET = 15 * GIB
+
+
+def run_experiment():
+    db = tpch_database(scale_factor=10)
+    workload = tpch_workload()
+    configs = {
+        "aim": AimAlgorithm(db).select(workload, BUDGET).indexes,
+        "dta": DtaAlgorithm(db, max_width=4, time_limit_seconds=30.0)
+        .select(workload, BUDGET).indexes,
+        "extend": ExtendAlgorithm(db, max_width=4, time_limit_seconds=45.0)
+        .select(workload, BUDGET).indexes,
+    }
+    evaluator = CostEvaluator(db)
+    per_query: dict[str, dict[str, float]] = {}
+    for query in workload:
+        base = evaluator.cost(query.sql)
+        row = {"noindex": base}
+        for name, indexes in configs.items():
+            row[name] = evaluator.cost(query.sql, indexes)
+        per_query[query.name] = row
+
+    # Does AIM pick a covering index benefiting Q21 (the paper's callout)?
+    aim_rec = AimAdvisor(db).recommend(workload, BUDGET)
+    q21_covering = any(
+        rec.phase == PHASE_COVERING
+        and any("Q21" in name for name, _gain in rec.benefiting_queries)
+        for rec in aim_rec.created
+    )
+    return per_query, q21_covering
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5(benchmark):
+    per_query, q21_covering = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+
+    affected = {
+        name: row
+        for name, row in per_query.items()
+        if min(row["aim"], row["dta"], row["extend"]) < row["noindex"] * 0.99
+    }
+    print_header(
+        "Fig 5a -- TPC-H SF10 @ 15 GB: per-query estimated costs "
+        "(queries where indexes had an effect)"
+    )
+    rows = [
+        [name, f"{row['noindex']:.3e}", f"{row['aim']:.3e}",
+         f"{row['dta']:.3e}", f"{row['extend']:.3e}"]
+        for name, row in sorted(affected.items(), key=lambda kv: int(kv[0][1:]))
+    ]
+    print_table(["query", "noindex", "aim", "dta", "extend"], rows)
+
+    print_header(
+        "Fig 5b -- expensive queries, log10(cost) (paper shows log scale)"
+    )
+    expensive = {
+        name: row for name, row in per_query.items()
+        if row["noindex"] > 1e6
+    }
+    rows = [
+        [name] + [f"{math.log10(max(row[a], 1.0)):.2f}"
+                  for a in ("noindex", "aim", "dta", "extend")]
+        for name, row in sorted(expensive.items(), key=lambda kv: int(kv[0][1:]))
+    ]
+    print_table(["query", "noindex", "aim", "dta", "extend"], rows)
+
+    print()
+    print(f"AIM chose a covering index benefiting Q21: {q21_covering}")
+
+    save_results(
+        "fig5",
+        {"per_query": per_query, "q21_covering": q21_covering},
+    )
+
+    # Shape: across affected queries, algorithms land in the same
+    # ballpark (paper: "pretty similar across all algorithms").
+    assert len(affected) >= 8
+    for name, row in affected.items():
+        best = min(row["aim"], row["dta"], row["extend"])
+        if best > 0:
+            assert row["aim"] <= row["noindex"] * 1.001

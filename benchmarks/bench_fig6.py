@@ -1,0 +1,154 @@
+"""Fig 6: effect of the join parameter j.
+
+Two identical machines serve a join-heavy transactional workload whose
+star queries use composite join predicates (individually unselective
+columns, selective combinations -- Sec. VI-C's pathological case for
+greedy advisors).  One machine receives AIM's configurations with
+progressively increasing j = 1, 2, 3; the other receives the greedy
+incremental algorithm's (GIA = Extend) configuration.
+
+Paper's numbers for its production workload: AIM(j=3) achieved ~27%
+better throughput and ~4.8% lower CPU than GIA; j=2 gave ~16% better
+throughput than j=1; j=2 -> 3 was insignificant.  We reproduce the
+ordering and report our factors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExtendAlgorithm
+from repro.core import AimAdvisor, AimConfig
+from repro.fleet import ReplayConfig, ReplaySimulator
+from repro.workloads.starjoin import starjoin_database, starjoin_workload
+
+from harness import GIB, print_header, print_table, save_results
+
+TICKS_PER_PHASE = 25
+ARRIVALS = 40
+BUDGET = 16 * GIB
+
+
+def run_experiment():
+    workload = starjoin_workload()
+
+    # Configurations per j, and GIA's.
+    configs = {}
+    runtimes = {}
+    for j in (1, 2, 3):
+        db = starjoin_database()
+        rec = AimAdvisor(db, AimConfig(join_parameter=j)).recommend(workload, BUDGET)
+        configs[f"aim_j{j}"] = rec.indexes
+        runtimes[f"aim_j{j}"] = rec.runtime_seconds
+    db = starjoin_database()
+    gia = ExtendAlgorithm(db, max_width=4, time_limit_seconds=60.0).select(
+        workload, BUDGET
+    )
+    configs["gia"] = [i.materialized() for i in gia.indexes]
+    runtimes["gia"] = gia.runtime_seconds
+
+    # Calibrate capacity so the GIA-indexed machine runs slightly
+    # saturated (offered = 1.25x capacity): in an open-loop replay the
+    # throughput contrast between configurations only shows once the
+    # weaker configuration saturates -- the regime Fig 6's machines are
+    # in.  AIM's cheaper plans then fit under capacity while GIA's
+    # backlog clips its throughput.
+    probe_db = starjoin_database()
+    for index in configs["gia"]:
+        probe_db.create_index(index)
+    probe = ReplaySimulator(
+        probe_db, workload,
+        ReplayConfig(ticks=6, arrivals_per_tick=ARRIVALS, capacity=float("inf"), seed=5),
+    ).run()
+    gia_offered = sum(p.offered_cost for p in probe.points) / 6
+    capacity = gia_offered / 1.25
+
+    # AIM machine: unindexed -> j=1 -> j=2 -> j=3 phases.
+    aim_db = starjoin_database()
+    aim_sim = ReplaySimulator(
+        aim_db, workload,
+        ReplayConfig(
+            ticks=TICKS_PER_PHASE * 4, arrivals_per_tick=ARRIVALS,
+            capacity=capacity, seed=5,
+        ),
+    )
+
+    def switch_to(config_key):
+        def event(sim):
+            sim.drop_all_indexes()
+            sim.create_indexes(configs[config_key])
+        return event
+
+    aim_timeline = aim_sim.run({
+        TICKS_PER_PHASE: switch_to("aim_j1"),
+        TICKS_PER_PHASE * 2: switch_to("aim_j2"),
+        TICKS_PER_PHASE * 3: switch_to("aim_j3"),
+    })
+
+    # GIA machine: unindexed -> GIA configuration.
+    gia_db = starjoin_database()
+    gia_sim = ReplaySimulator(
+        gia_db, workload,
+        ReplayConfig(
+            ticks=TICKS_PER_PHASE * 4, arrivals_per_tick=ARRIVALS,
+            capacity=capacity, seed=5,
+        ),
+    )
+    gia_timeline = gia_sim.run({TICKS_PER_PHASE: switch_to("gia")})
+
+    def phase(timeline, k):
+        start = TICKS_PER_PHASE * k + 3
+        end = TICKS_PER_PHASE * (k + 1)
+        return (
+            timeline.mean_throughput(start, end),
+            timeline.mean_cpu(start, end),
+        )
+
+    thr = {}
+    cpu = {}
+    thr["unindexed"], cpu["unindexed"] = phase(aim_timeline, 0)
+    thr["aim_j1"], cpu["aim_j1"] = phase(aim_timeline, 1)
+    thr["aim_j2"], cpu["aim_j2"] = phase(aim_timeline, 2)
+    thr["aim_j3"], cpu["aim_j3"] = phase(aim_timeline, 3)
+    thr["gia"], cpu["gia"] = phase(gia_timeline, 3)
+    return thr, cpu, runtimes, {k: len(v) for k, v in configs.items()}
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6(benchmark):
+    thr, cpu, runtimes, n_indexes = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+
+    print_header("Fig 6 -- effect of the join parameter (steady-state phases)")
+    rows = [
+        [name, f"{thr[name]:.1f}", f"{cpu[name]:.1f}%",
+         n_indexes.get(name, 0), f"{runtimes.get(name, 0):.1f}s"]
+        for name in ("unindexed", "aim_j1", "aim_j2", "aim_j3", "gia")
+    ]
+    print_table(["config", "throughput", "cpu", "indexes", "advisor runtime"], rows)
+
+    j2_vs_j1 = thr["aim_j2"] / max(1e-9, thr["aim_j1"]) - 1
+    j3_vs_j2 = thr["aim_j3"] / max(1e-9, thr["aim_j2"]) - 1
+    aim_vs_gia_thr = thr["aim_j3"] / max(1e-9, thr["gia"]) - 1
+    aim_vs_gia_cpu = 1 - cpu["aim_j3"] / max(1e-9, cpu["gia"])
+    print()
+    print(f"AIM(j=3) vs GIA: {aim_vs_gia_thr * 100:+.1f}% throughput, "
+          f"{aim_vs_gia_cpu * 100:+.1f}% lower CPU "
+          f"(paper: +27% / -4.8%)")
+    print(f"j=2 vs j=1 throughput: {j2_vs_j1 * 100:+.1f}% (paper: +16%)")
+    print(f"j=3 vs j=2 throughput: {j3_vs_j2 * 100:+.1f}% (paper: insignificant)")
+
+    save_results("fig6", {
+        "throughput": thr, "cpu": cpu, "runtimes": runtimes,
+        "n_indexes": n_indexes,
+        "aim_vs_gia_throughput": aim_vs_gia_thr,
+        "aim_vs_gia_cpu_reduction": aim_vs_gia_cpu,
+        "j2_vs_j1": j2_vs_j1, "j3_vs_j2": j3_vs_j2,
+    })
+
+    # Shape assertions.
+    assert thr["aim_j2"] > thr["aim_j1"], "j=2 must beat j=1"
+    assert abs(j3_vs_j2) < 0.1, "j=2 -> 3 should be insignificant"
+    assert thr["aim_j3"] >= thr["gia"] * 0.99, "AIM should match/beat GIA"
+    assert cpu["aim_j3"] <= cpu["gia"] * 1.05, "AIM CPU should not exceed GIA's"

@@ -1,0 +1,100 @@
+"""Table II: DBA vs AIM on production workloads (Products A-G).
+
+For each synthetic product (generated from Table II's published metadata:
+table count, join-query count, read/write mix) we report -- exactly the
+paper's columns -- index counts, total index sizes for both the DBA
+reference configuration and AIM, plus the Jaccard similarity of the two
+index sets, and additionally the workload cost ratio (the paper reports
+"performance at par" via Fig 3; we quantify it).
+
+Expected shape: AIM reaches comparable (or better) workload cost with
+fewer indexes and a smaller total footprint in most products.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import AimAlgorithm
+from repro.optimizer import CostEvaluator
+from repro.workloads.production import (
+    PRODUCTS,
+    build_product,
+    dba_index_set,
+    jaccard_similarity,
+)
+
+from harness import fmt_bytes, print_header, print_table, save_results
+
+
+def run_product(key: str) -> dict:
+    product = build_product(PRODUCTS[key])
+    db = product.db
+    # Generous budget (the paper's fleet allocates index storage freely;
+    # AIM's utility ranking, not the budget, bounds what gets built).
+    data_bytes = sum(db.table_size_bytes(t) for t in db.schema.tables)
+    budget = max(256 << 20, data_bytes)
+
+    aim = AimAlgorithm(db).select(product.workload, budget)
+    dba = dba_index_set(product, budget)
+    dba_size = sum(db.index_size_bytes(i) for i in dba)
+    evaluator = CostEvaluator(db)
+    dba_cost = evaluator.workload_cost(product.workload.pairs(), dba)
+
+    return {
+        "product": key,
+        "tables": PRODUCTS[key].tables,
+        "join_queries": PRODUCTS[key].join_queries,
+        "workload_type": PRODUCTS[key].workload_type,
+        "dba_count": len(dba),
+        "aim_count": len(aim.indexes),
+        "dba_size": dba_size,
+        "aim_size": aim.total_size_bytes,
+        "jaccard": round(jaccard_similarity(aim.indexes, dba), 2),
+        "aim_cost": aim.cost_after,
+        "dba_cost": dba_cost,
+        "cost_ratio_aim_over_dba": round(
+            aim.cost_after / dba_cost, 3
+        ) if dba_cost > 0 else 1.0,
+    }
+
+
+def run_all():
+    return [run_product(key) for key in PRODUCTS]
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print_header(
+        "Table II -- Performance comparison between DBAs and AIM on "
+        "production workloads"
+    )
+    rows = [
+        [
+            r["product"], r["tables"], r["join_queries"],
+            r["workload_type"],
+            r["dba_count"], r["aim_count"],
+            fmt_bytes(r["dba_size"]), fmt_bytes(r["aim_size"]),
+            r["jaccard"], r["cost_ratio_aim_over_dba"],
+        ]
+        for r in results
+    ]
+    print_table(
+        ["product", "tables", "joins", "type", "DBA#", "AIM#",
+         "DBA size", "AIM size", "Jaccard", "cost AIM/DBA"],
+        rows,
+    )
+    save_results("table2", results)
+
+    # Shape assertions per the paper ("comparable performance, fewer
+    # indexes in most cases"):
+    fewer = sum(1 for r in results if r["aim_count"] <= r["dba_count"])
+    assert fewer >= len(results) // 2 + 1, \
+        "AIM should use fewer indexes in most products"
+    at_par = sum(1 for r in results if r["cost_ratio_aim_over_dba"] <= 1.3)
+    assert at_par >= len(results) - 1, \
+        "AIM's performance should be at par with manual tuning"
+    for r in results:
+        assert 0.0 < r["jaccard"] < 1.0

@@ -1,0 +1,19 @@
+-- Example schema for `python -m repro.cli` (see README).
+
+CREATE TABLE users (
+    id BIGINT NOT NULL,
+    city VARCHAR(24),
+    age INT,
+    name VARCHAR(40),
+    signup_date DATE,
+    PRIMARY KEY (id)
+);
+
+CREATE TABLE orders (
+    oid BIGINT NOT NULL,
+    user_id BIGINT NOT NULL,
+    amount DECIMAL(10, 2),
+    status VARCHAR(16),
+    created TIMESTAMP,
+    PRIMARY KEY (oid)
+);

@@ -1,0 +1,22 @@
+-- Example workload for `python -m repro.cli`.
+-- A `-- weight: N` comment sets the next statement's execution frequency.
+
+-- weight: 500
+SELECT amount, status FROM orders WHERE status = 'paid' AND created > 3000;
+
+-- weight: 200
+SELECT u.name, o.amount
+FROM users u, orders o
+WHERE u.id = o.user_id AND u.city = 'nyc' AND o.amount > 100;
+
+-- weight: 80
+SELECT city, COUNT(*) FROM users WHERE age > 30 GROUP BY city;
+
+-- weight: 50
+SELECT name FROM users WHERE signup_date > 3500 ORDER BY signup_date DESC LIMIT 20;
+
+-- weight: 900
+UPDATE orders SET status = 'done' WHERE oid = 12345;
+
+-- weight: 400
+INSERT INTO orders (oid, user_id, amount, status, created) VALUES (1, 2, 3.5, 'new', 4000);

@@ -1,0 +1,57 @@
+"""Join parameter study (paper Sec. IV-C / Fig 6).
+
+Sweeps AIM's join parameter j on the star-join workload whose composite
+join predicates defeat greedy one-column-at-a-time advisors, and compares
+against the greedy incremental algorithm (Extend / "GIA").
+
+Run:  python examples/join_parameter_study.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import ExtendAlgorithm
+from repro.core import AimAdvisor, AimConfig
+from repro.optimizer import CostEvaluator
+from repro.workloads.starjoin import starjoin_database, starjoin_workload
+
+
+def main() -> None:
+    workload = starjoin_workload()
+    budget = 16 << 30
+    print("star-join workload: fact + 3 dimensions, composite join keys\n")
+
+    print(f"{'config':8s} {'rel. cost':>10s} {'#idx':>5s} {'runtime':>8s}")
+    baseline_cost = None
+    for j in (1, 2, 3):
+        db = starjoin_database()
+        evaluator = CostEvaluator(db)
+        if baseline_cost is None:
+            baseline_cost = evaluator.workload_cost(workload.pairs())
+        recommendation = AimAdvisor(db, AimConfig(join_parameter=j)).recommend(
+            workload, budget
+        )
+        cost = evaluator.workload_cost(
+            workload.pairs(), [i.as_dataless() for i in recommendation.indexes]
+        )
+        print(
+            f"aim j={j}  {cost / baseline_cost:10.4f} "
+            f"{len(recommendation.indexes):5d} "
+            f"{recommendation.runtime_seconds:7.2f}s"
+        )
+
+    db = starjoin_database()
+    gia = ExtendAlgorithm(db, max_width=4, time_limit_seconds=60.0).select(
+        workload, budget
+    )
+    print(
+        f"{'gia':8s} {gia.relative_cost:10.4f} {len(gia.indexes):5d} "
+        f"{gia.runtime_seconds:7.2f}s"
+    )
+    print(
+        "\nExpected shape (paper Sec. VI-C): j=2 far better than j=1, "
+        "j=3 ~ j=2, AIM >= GIA at a fraction of the runtime."
+    )
+
+
+if __name__ == "__main__":
+    main()

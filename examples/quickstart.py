@@ -1,0 +1,106 @@
+"""Quickstart: tune a small database end to end.
+
+Builds a two-table web-shop database with real rows, runs traffic through
+the monitored executor, asks AIM for a recommendation, applies it and
+shows the measured speedup.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.catalog import Column, INT, Table, varchar
+from repro.core import AimAdvisor
+from repro.engine import Database
+from repro.workload import MonitoredExecutor, SelectionPolicy
+
+
+def build_database() -> Database:
+    users = Table(
+        "users",
+        [
+            Column("id", INT),
+            Column("age", INT),
+            Column("city", varchar(12)),
+            Column("name", varchar(20)),
+        ],
+        ("id",),
+    )
+    orders = Table(
+        "orders",
+        [
+            Column("oid", INT),
+            Column("user_id", INT),
+            Column("amount", INT),
+            Column("status", varchar(8)),
+            Column("created", INT),
+        ],
+        ("oid",),
+    )
+    db = Database.from_tables([users, orders], name="webshop")
+    rng = random.Random(42)
+    db.load_rows("users", (
+        {
+            "id": i,
+            "age": rng.randint(18, 80),
+            "city": f"city{rng.randint(0, 29)}",
+            "name": f"user{i}",
+        }
+        for i in range(3_000)
+    ))
+    db.load_rows("orders", (
+        {
+            "oid": i,
+            "user_id": rng.randrange(3_000),
+            "amount": rng.randint(1, 500),
+            "status": rng.choice(["new", "paid", "shipped", "done"]),
+            "created": rng.randint(0, 1_000_000),
+        }
+        for i in range(20_000)
+    ))
+    db.analyze()
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    monitored = MonitoredExecutor(db)
+    rng = random.Random(7)
+
+    print("== replaying application traffic (no secondary indexes) ==")
+    statements = []
+    for _ in range(60):
+        statements.append(
+            f"SELECT amount, status FROM orders WHERE created < {rng.randint(5_000, 40_000)}"
+        )
+        statements.append(
+            "SELECT u.name, o.amount FROM users u, orders o "
+            f"WHERE u.id = o.user_id AND o.status = 'paid' AND u.city = 'city{rng.randint(0, 29)}'"
+        )
+    before = 0.0
+    for sql in statements:
+        before += monitored.execute(sql).metrics.cpu_seconds(db.params)
+    print(f"measured cost before tuning: {before:,.0f} units")
+
+    print("\n== AIM recommendation from monitor statistics ==")
+    advisor = AimAdvisor(db, monitor=monitored.monitor)
+    recommendation = advisor.recommend_from_monitor(
+        budget_bytes=64 << 20,
+        policy=SelectionPolicy(min_executions=2, min_benefit=0.001),
+    )
+    print(recommendation.summary())
+
+    print("\n== applying and re-measuring ==")
+    for index in recommendation.indexes:
+        db.create_index(index)
+    after = 0.0
+    for sql in statements:
+        after += monitored.execute(sql).metrics.cpu_seconds(db.params)
+    print(f"measured cost after tuning:  {after:,.0f} units")
+    print(f"speedup: {before / after:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

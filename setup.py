@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 660 editable installs fail.  This shim enables the legacy path:
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

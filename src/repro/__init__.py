@@ -1,0 +1,12 @@
+"""repro -- reproduction of *AIM: A practical approach to automated index
+management for SQL databases* (ICDE 2023).
+
+The package implements the AIM advisor (:mod:`repro.core`), the SQL and
+database substrates it needs (:mod:`repro.sqlparser`, :mod:`repro.catalog`,
+:mod:`repro.engine`, :mod:`repro.optimizer`, :mod:`repro.executor`), the
+workload instrumentation (:mod:`repro.workload`), baseline index selection
+algorithms (:mod:`repro.baselines`), the fleet/operational layer
+(:mod:`repro.fleet`) and the benchmark workloads (:mod:`repro.workloads`).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,52 @@
+"""Index selection algorithms: AIM plus the eight framework baselines."""
+
+from .aim_adapter import AimAlgorithm
+from .autoadmin import AutoAdminAlgorithm
+from .base import AlgorithmResult, SelectionAlgorithm
+from .cophy import CophyAlgorithm
+from .cost_eval import (
+    candidate_pool,
+    indexable_columns,
+    per_query_candidates,
+    single_column_candidates,
+)
+from .db2advis import Db2AdvisAlgorithm
+from .dexter import DexterAlgorithm
+from .drop_heuristic import DropAlgorithm
+from .dta import DtaAlgorithm
+from .extend import ExtendAlgorithm
+from .noindex import NoIndexAlgorithm
+from .relaxation import RelaxationAlgorithm
+
+ALL_ALGORITHMS = {
+    "aim": AimAlgorithm,
+    "extend": ExtendAlgorithm,
+    "dta": DtaAlgorithm,
+    "autoadmin": AutoAdminAlgorithm,
+    "db2advis": Db2AdvisAlgorithm,
+    "drop": DropAlgorithm,
+    "relaxation": RelaxationAlgorithm,
+    "dexter": DexterAlgorithm,
+    "cophy": CophyAlgorithm,
+    "noindex": NoIndexAlgorithm,
+}
+
+__all__ = [
+    "SelectionAlgorithm",
+    "AlgorithmResult",
+    "AimAlgorithm",
+    "ExtendAlgorithm",
+    "DtaAlgorithm",
+    "AutoAdminAlgorithm",
+    "Db2AdvisAlgorithm",
+    "DropAlgorithm",
+    "RelaxationAlgorithm",
+    "DexterAlgorithm",
+    "CophyAlgorithm",
+    "NoIndexAlgorithm",
+    "ALL_ALGORITHMS",
+    "indexable_columns",
+    "single_column_candidates",
+    "per_query_candidates",
+    "candidate_pool",
+]

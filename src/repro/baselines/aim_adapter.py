@@ -1,0 +1,32 @@
+"""AIM wrapped in the common SelectionAlgorithm interface.
+
+Lets the benchmark harness sweep AIM and the baselines uniformly
+(Fig 4/5/6 all compare them on the same axes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import AimAdvisor, AimConfig
+from ..optimizer import CostEvaluator
+from ..workload import Workload
+from .base import SelectionAlgorithm
+
+
+class AimAlgorithm(SelectionAlgorithm):
+    """The paper's algorithm behind the baseline-comparison interface."""
+
+    name = "aim"
+
+    def __init__(self, db, config: Optional[AimConfig] = None):
+        super().__init__(db)
+        self.config = config or AimConfig()
+
+    def _select(self, evaluator: CostEvaluator, workload: Workload, budget_bytes: int):
+        advisor = AimAdvisor(self.db, self.config)
+        recommendation = advisor.recommend(workload, budget_bytes)
+        # Surface AIM's optimizer usage through the shared evaluator's
+        # counter so runtime/call comparisons stay uniform.
+        evaluator.optimizer.calls += recommendation.optimizer_calls
+        return [idx.as_dataless() for idx in recommendation.indexes]

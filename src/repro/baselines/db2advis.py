@@ -1,0 +1,85 @@
+"""DB2 Advisor (Valentin et al., ICDE 2000).
+
+Per-query candidate evaluation assigns each candidate the benefit it
+yields for the queries whose plans use it; selection is a knapsack by
+benefit density followed by a bounded random-variation improvement pass
+(the original's "try harder" swap phase), seeded deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..catalog import Index
+from ..optimizer import CostEvaluator
+from ..workload import Workload
+from .base import SelectionAlgorithm
+from .cost_eval import config_size, per_query_candidates
+
+
+class Db2AdvisAlgorithm(SelectionAlgorithm):
+    """Benefit-density knapsack with random swap improvement."""
+
+    name = "db2advis"
+
+    def __init__(self, db, max_width: int = 3, swap_rounds: int = 20, seed: int = 7):
+        super().__init__(db)
+        self.max_width = max_width
+        self.swap_rounds = swap_rounds
+        self.seed = seed
+
+    def _select(self, evaluator: CostEvaluator, workload: Workload, budget_bytes: int):
+        pairs = workload.pairs()
+        per_query = per_query_candidates(
+            evaluator, workload, self.max_width, with_permutations=False
+        )
+        benefit: dict[str, float] = {}
+        pool: dict[str, Index] = {}
+        for query in workload:
+            if query.is_dml:
+                continue
+            candidates = per_query.get(query.normalized_sql, [])
+            if not candidates:
+                continue
+            base = evaluator.cost(query.sql, [])
+            plan = evaluator.plan(query.sql, candidates)
+            gain = max(0.0, base - plan.total_cost) * query.weight
+            used = plan.used_indexes
+            used_candidates = [c for c in candidates if c.name in used]
+            for candidate in used_candidates:
+                pool[candidate.name] = candidate
+                benefit[candidate.name] = (
+                    benefit.get(candidate.name, 0.0) + gain / len(used_candidates)
+                )
+
+        ordered = sorted(
+            pool.values(),
+            key=lambda c: benefit[c.name] / max(1, self.db.index_size_bytes(c)),
+            reverse=True,
+        )
+        chosen: list[Index] = []
+        used_bytes = 0
+        for candidate in ordered:
+            size = self.db.index_size_bytes(candidate)
+            if used_bytes + size <= budget_bytes:
+                chosen.append(candidate)
+                used_bytes += size
+
+        # Random-variation improvement: swap one in/out, keep if better.
+        rng = random.Random(self.seed)
+        outside = [c for c in pool.values() if c not in chosen]
+        best_cost = evaluator.workload_cost(pairs, chosen)
+        for _ in range(self.swap_rounds):
+            if not outside or not chosen:
+                break
+            incoming = rng.choice(outside)
+            outgoing = rng.choice(chosen)
+            trial = [c for c in chosen if c.name != outgoing.name] + [incoming]
+            if config_size(self.db, trial) > budget_bytes:
+                continue
+            cost = evaluator.workload_cost(pairs, trial)
+            if cost < best_cost:
+                best_cost = cost
+                outside = [c for c in outside if c.name != incoming.name] + [outgoing]
+                chosen = trial
+        return chosen

@@ -1,0 +1,74 @@
+"""Dexter-style advisor (github.com/ankane/dexter).
+
+The pragmatic open-source approach: hypothesize single-column (and
+two-column) indexes on filtered/joined columns, keep those the optimizer
+actually uses with at least ``min_improvement`` relative gain, then fit
+the budget by gain density.
+"""
+
+from __future__ import annotations
+
+from ..catalog import Index
+from ..optimizer import CostEvaluator
+from ..workload import Workload
+from .base import SelectionAlgorithm
+from .cost_eval import indexable_columns
+
+
+class DexterAlgorithm(SelectionAlgorithm):
+    """Hypothesize-and-keep-used with an improvement threshold."""
+
+    name = "dexter"
+
+    def __init__(self, db, min_improvement: float = 0.1, two_column: bool = True):
+        super().__init__(db)
+        self.min_improvement = min_improvement
+        self.two_column = two_column
+
+    def _select(self, evaluator: CostEvaluator, workload: Workload, budget_bytes: int):
+        kept: dict[str, Index] = {}
+        gain_by_index: dict[str, float] = {}
+        for query in workload:
+            if query.is_dml:
+                continue
+            info = evaluator.analyze(query.sql)
+            hypothetical: dict[str, Index] = {}
+            for table, columns in indexable_columns(info).items():
+                for col in columns:
+                    idx = Index(table, (col,), dataless=True)
+                    hypothetical[idx.name] = idx
+                if self.two_column and len(columns) >= 2:
+                    idx = Index(table, tuple(columns[:2]), dataless=True)
+                    hypothetical[idx.name] = idx
+            if not hypothetical:
+                continue
+            base = evaluator.cost(query.sql, [])
+            plan = evaluator.plan(query.sql, list(hypothetical.values()))
+            if base <= 0:
+                continue
+            improvement = 1.0 - plan.total_cost / base
+            if improvement < self.min_improvement:
+                continue
+            gain = (base - plan.total_cost) * query.weight
+            used = [
+                hypothetical[name]
+                for name in plan.used_indexes
+                if name in hypothetical
+            ]
+            for idx in used:
+                kept[idx.name] = idx
+                gain_by_index[idx.name] = gain_by_index.get(idx.name, 0.0) + gain / len(used)
+
+        ordered = sorted(
+            kept.values(),
+            key=lambda c: gain_by_index[c.name] / max(1, self.db.index_size_bytes(c)),
+            reverse=True,
+        )
+        chosen: list[Index] = []
+        used_bytes = 0
+        for candidate in ordered:
+            size = self.db.index_size_bytes(candidate)
+            if used_bytes + size <= budget_bytes:
+                chosen.append(candidate)
+                used_bytes += size
+        return chosen

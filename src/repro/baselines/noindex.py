@@ -1,0 +1,14 @@
+"""The no-index baseline: the denominator of every relative-cost plot."""
+
+from __future__ import annotations
+
+from .base import SelectionAlgorithm
+
+
+class NoIndexAlgorithm(SelectionAlgorithm):
+    """Selects nothing; cost_after == cost_before by construction."""
+
+    name = "noindex"
+
+    def _select(self, evaluator, workload, budget_bytes):
+        return []

@@ -1,0 +1,38 @@
+"""Catalog: tables, columns, types, indexes and schemas."""
+
+from .column import Column
+from .index import Index
+from .schema import Schema
+from .table import CatalogError, Table
+from .types import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DATETIME,
+    DECIMAL,
+    FLOAT,
+    INT,
+    ColumnType,
+    TypeKind,
+    char,
+    varchar,
+)
+
+__all__ = [
+    "Column",
+    "Index",
+    "Schema",
+    "Table",
+    "CatalogError",
+    "ColumnType",
+    "TypeKind",
+    "INT",
+    "BIGINT",
+    "FLOAT",
+    "DECIMAL",
+    "DATE",
+    "DATETIME",
+    "BOOLEAN",
+    "char",
+    "varchar",
+]

@@ -1,0 +1,30 @@
+"""Column metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .types import ColumnType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A table column.
+
+    Attributes:
+        name: column name, unique within its table.
+        ctype: storage type (drives width and synthetic value domain).
+        nullable: whether NULLs may occur.
+    """
+
+    name: str
+    ctype: ColumnType
+    nullable: bool = False
+
+    @property
+    def width(self) -> int:
+        """Average stored width in bytes (plus a null bitmap bit, ignored)."""
+        return self.ctype.width
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.ctype}"

@@ -1,0 +1,99 @@
+"""Schema: the collection of tables and their indexes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .index import Index
+from .table import CatalogError, Table
+
+
+@dataclass
+class Schema:
+    """A named set of tables plus the current secondary index configuration.
+
+    The index configuration distinguishes *materialized* indexes (usable by
+    the executor) from *dataless* indexes (optimizer-only, paper
+    Sec. III-A4).  Both live in the same namespace so a dataless index can
+    later be materialized in place.
+    """
+
+    tables: dict[str, Table] = field(default_factory=dict)
+    _indexes: dict[str, Index] = field(default_factory=dict)
+
+    @classmethod
+    def from_tables(cls, tables: Iterable[Table]) -> "Schema":
+        """Build a schema from a table collection."""
+        schema = cls()
+        for table in tables:
+            schema.add_table(table)
+        return schema
+
+    def add_table(self, table: Table) -> None:
+        if table.name in self.tables:
+            raise CatalogError(f"duplicate table {table.name}")
+        self.tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"no table named {name!r}") from None
+
+    # -- index configuration ------------------------------------------------
+
+    def add_index(self, index: Index) -> Index:
+        """Register an index; validates table/columns; idempotent.
+
+        Re-adding an existing dataless index as materialized upgrades it.
+        """
+        table = self.table(index.table)
+        for col in index.columns:
+            if not table.has_column(col):
+                raise CatalogError(
+                    f"index column {col!r} not in table {index.table}"
+                )
+        existing = self._indexes.get(index.name)
+        if existing is not None and existing.dataless and not index.dataless:
+            self._indexes[index.name] = index
+            return index
+        if existing is not None:
+            return existing
+        self._indexes[index.name] = index
+        return index
+
+    def drop_index(self, index: Index | str) -> None:
+        """Remove an index by value or name (no-op if absent)."""
+        name = index if isinstance(index, str) else index.name
+        self._indexes.pop(name, None)
+
+    def indexes(self, table: str | None = None, include_dataless: bool = True) -> list[Index]:
+        """Current indexes, optionally restricted to one table."""
+        out = [
+            idx
+            for idx in self._indexes.values()
+            if (table is None or idx.table == table)
+            and (include_dataless or not idx.dataless)
+        ]
+        return out
+
+    def has_index(self, index: Index) -> bool:
+        """True if an index with the same key exists (dataless or not)."""
+        return index.name in self._indexes
+
+    def get_index(self, name: str) -> Index | None:
+        return self._indexes.get(name)
+
+    def clear_dataless(self) -> None:
+        """Drop every dataless index (end of a what-if session)."""
+        for name in [n for n, idx in self._indexes.items() if idx.dataless]:
+            del self._indexes[name]
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self.tables.values())
+
+    def copy(self) -> "Schema":
+        """Shallow-ish copy: shares Table objects, owns the index dict."""
+        clone = Schema(dict(self.tables), dict(self._indexes))
+        return clone

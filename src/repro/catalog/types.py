@@ -1,0 +1,58 @@
+"""Column type system.
+
+Types carry only what the cost model and data generator need: a storage
+width in bytes and a value domain kind.  This mirrors how index advisors
+consume DBMS catalogs -- widths drive index size estimates, domains drive
+synthetic data generation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TypeKind(enum.Enum):
+    """Value domain of a column type."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    DECIMAL = "decimal"
+    STRING = "string"
+    DATE = "date"
+    DATETIME = "datetime"
+    BOOLEAN = "boolean"
+
+
+@dataclass(frozen=True)
+class ColumnType:
+    """A concrete column type with a fixed storage width.
+
+    Variable-width types use their average width, which is what matters
+    for size estimation (the paper reports index sizes in GiB).
+    """
+
+    kind: TypeKind
+    width: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.width})"
+
+
+INT = ColumnType(TypeKind.INTEGER, 4)
+BIGINT = ColumnType(TypeKind.INTEGER, 8)
+FLOAT = ColumnType(TypeKind.FLOAT, 8)
+DECIMAL = ColumnType(TypeKind.DECIMAL, 8)
+DATE = ColumnType(TypeKind.DATE, 4)
+DATETIME = ColumnType(TypeKind.DATETIME, 8)
+BOOLEAN = ColumnType(TypeKind.BOOLEAN, 1)
+
+
+def varchar(avg_width: int) -> ColumnType:
+    """A string type with the given average stored width in bytes."""
+    return ColumnType(TypeKind.STRING, avg_width)
+
+
+def char(width: int) -> ColumnType:
+    """A fixed-width string type."""
+    return ColumnType(TypeKind.STRING, width)

@@ -1,0 +1,245 @@
+"""Command-line index advisor.
+
+Feed it a schema (CREATE TABLE script) and a workload (SQL statements,
+optionally weighted), get back AIM's recommendation as CREATE INDEX
+statements::
+
+    python -m repro.cli --schema schema.sql --workload workload.sql \\
+        --budget 2GiB --rows orders=5000000 --rows users=200000
+
+Workload file format: statements separated by ``;``.  A comment line
+``-- weight: <number>`` immediately before a statement sets its weight
+(execution frequency); the default weight is 1.
+
+Without row data the advisor runs on *synthesized* statistics (row
+counts from ``--rows``/``--default-rows``, NDV heuristics from types and
+column names).  Treat the output as a first-pass recommendation and
+re-run against ANALYZE-backed statistics for production use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from typing import Optional, Sequence
+
+from .baselines import ALL_ALGORITHMS, AimAlgorithm
+from .catalog import Column, Table
+from .core import AimAdvisor, AimConfig
+from .engine import Database, INNODB, INNODB_HDD, ROCKSDB
+from .sqlparser.ddl import parse_ddl
+from .stats import SyntheticColumn, synthesize_table
+from .workload import Workload, WorkloadQuery
+
+_ENGINES = {"innodb": INNODB, "rocksdb": ROCKSDB, "hdd": INNODB_HDD}
+
+_SIZE_UNITS = {
+    "": 1, "B": 1,
+    "K": 1 << 10, "KB": 1 << 10, "KIB": 1 << 10,
+    "M": 1 << 20, "MB": 1 << 20, "MIB": 1 << 20,
+    "G": 1 << 30, "GB": 1 << 30, "GIB": 1 << 30,
+    "T": 1 << 40, "TB": 1 << 40, "TIB": 1 << 40,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size like ``10GiB``, ``500MB`` or ``1048576``."""
+    match = re.fullmatch(r"\s*([0-9]+(?:\.[0-9]+)?)\s*([A-Za-z]*)\s*", text)
+    if not match:
+        raise argparse.ArgumentTypeError(f"cannot parse size {text!r}")
+    value, unit = match.groups()
+    unit_key = unit.upper()
+    if unit_key not in _SIZE_UNITS:
+        raise argparse.ArgumentTypeError(f"unknown size unit {unit!r}")
+    return int(float(value) * _SIZE_UNITS[unit_key])
+
+
+def parse_workload_file(text: str) -> Workload:
+    """Split a SQL script into weighted statements.
+
+    ``-- weight: N`` comment lines annotate the following statement.
+    """
+    queries: list[WorkloadQuery] = []
+    pending_weight = 1.0
+    buffer: list[str] = []
+
+    def flush() -> None:
+        nonlocal pending_weight
+        sql = "\n".join(buffer).strip()
+        buffer.clear()
+        if not sql:
+            return
+        queries.append(
+            WorkloadQuery(sql, pending_weight, name=f"q{len(queries) + 1}")
+        )
+        pending_weight = 1.0
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        weight_match = re.match(r"--\s*weight:\s*([0-9.]+)", line, re.I)
+        if weight_match:
+            pending_weight = float(weight_match.group(1))
+            continue
+        if line.startswith("--"):
+            continue
+        while ";" in line:
+            head, line = line.split(";", 1)
+            buffer.append(head)
+            flush()
+            line = line.strip()
+        if line:
+            buffer.append(line)
+    flush()
+    return Workload(queries, name="cli")
+
+
+def synthesize_column_stats(table: Table, column: Column, rows: int) -> SyntheticColumn:
+    """NDV heuristics for stats-less advising (documented in --help)."""
+    name = column.name.lower()
+    kind = column.ctype.kind.value
+    if column.name in table.primary_key:
+        return SyntheticColumn(ndv=-1, lo=1, hi=max(2, rows))
+    if name.endswith("_id") or name.endswith("id"):
+        return SyntheticColumn(ndv=max(2, rows // 2), lo=1, hi=max(2, rows))
+    if any(word in name for word in ("status", "state", "kind", "type", "flag")):
+        return SyntheticColumn(ndv=8)
+    if kind == "boolean":
+        return SyntheticColumn(ndv=2)
+    if kind in ("date", "datetime"):
+        return SyntheticColumn(ndv=min(rows, 3650), lo=0, hi=3650)
+    if kind == "string":
+        return SyntheticColumn(ndv=max(2, rows // 20))
+    return SyntheticColumn(ndv=max(2, rows // 10), lo=0, hi=1_000_000)
+
+
+def build_database(
+    schema_sql: str,
+    row_counts: dict[str, int],
+    default_rows: int,
+    engine: str,
+) -> Database:
+    """Assemble a stats-only database from DDL plus row-count hints."""
+    parsed = parse_ddl(schema_sql)
+    db = Database(
+        parsed.to_schema(), params=_ENGINES[engine],
+        with_storage=False, name="cli",
+    )
+    for table in parsed.tables:
+        rows = row_counts.get(table.name, default_rows)
+        spec = {
+            column.name: synthesize_column_stats(table, column, rows)
+            for column in table.columns
+        }
+        db.set_stats(table.name, synthesize_table(rows, spec))
+    return db
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="AIM index advisor over SQL schema + workload files.",
+    )
+    parser.add_argument("--schema", required=True,
+                        help="path to a CREATE TABLE script")
+    parser.add_argument("--workload", required=True,
+                        help="path to a SQL workload script (see module docs)")
+    parser.add_argument("--budget", type=parse_size, default=parse_size("1GiB"),
+                        help="storage budget, e.g. 10GiB (default 1GiB)")
+    parser.add_argument("--rows", action="append", default=[],
+                        metavar="TABLE=COUNT",
+                        help="row count hint, repeatable")
+    parser.add_argument("--default-rows", type=int, default=1_000_000,
+                        help="row count for tables without a --rows hint")
+    parser.add_argument("--engine", choices=sorted(_ENGINES), default="innodb",
+                        help="storage engine cost profile")
+    parser.add_argument("--join-parameter", type=int, default=2,
+                        help="AIM's j (Sec. IV-C)")
+    parser.add_argument("--max-width", type=int, default=None,
+                        help="optional cap on index width")
+    parser.add_argument("--algorithm", choices=sorted(ALL_ALGORITHMS),
+                        default="aim", help="advisor to run")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    row_counts: dict[str, int] = {}
+    for hint in args.rows:
+        if "=" not in hint:
+            print(f"error: bad --rows value {hint!r}", file=sys.stderr)
+            return 2
+        table, _, count = hint.partition("=")
+        row_counts[table.strip()] = int(count)
+
+    with open(args.schema) as fh:
+        schema_sql = fh.read()
+    with open(args.workload) as fh:
+        workload = parse_workload_file(fh.read())
+    if not len(workload):
+        print("error: the workload file contains no statements", file=sys.stderr)
+        return 2
+
+    db = build_database(schema_sql, row_counts, args.default_rows, args.engine)
+
+    if args.algorithm == "aim":
+        config = AimConfig(
+            join_parameter=args.join_parameter,
+            max_index_width=args.max_width,
+        )
+        recommendation = AimAdvisor(db, config).recommend(workload, args.budget)
+        if args.format == "json":
+            payload = {
+                "indexes": [
+                    {
+                        "table": rec.index.table,
+                        "columns": list(rec.index.columns),
+                        "size_bytes": rec.size_bytes,
+                        "benefit": rec.benefit,
+                        "maintenance": rec.maintenance,
+                        "phase": rec.phase,
+                    }
+                    for rec in recommendation.created
+                ],
+                "cost_before": recommendation.cost_before,
+                "cost_after": recommendation.cost_after,
+                "improvement": recommendation.improvement,
+                "optimizer_calls": recommendation.optimizer_calls,
+                "runtime_seconds": recommendation.runtime_seconds,
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            print(recommendation.summary())
+            print()
+            for index in recommendation.indexes:
+                print(f"CREATE INDEX {index.name} ON "
+                      f"{index.table} ({', '.join(index.columns)});")
+        return 0
+
+    algorithm = ALL_ALGORITHMS[args.algorithm](db)
+    result = algorithm.select(workload, args.budget)
+    if args.format == "json":
+        payload = {
+            "algorithm": result.algorithm,
+            "indexes": [
+                {"table": i.table, "columns": list(i.columns)}
+                for i in result.indexes
+            ],
+            "relative_cost": result.relative_cost,
+            "runtime_seconds": result.runtime_seconds,
+            "optimizer_calls": result.optimizer_calls,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{result.algorithm}: relative cost "
+              f"{result.relative_cost:.3f}, {len(result.indexes)} indexes")
+        for index in result.indexes:
+            print(f"CREATE INDEX {index.materialized().name} ON "
+                  f"{index.table} ({', '.join(index.columns)});")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

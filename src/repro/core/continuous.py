@@ -1,0 +1,133 @@
+"""Continuous index tuning (paper Sec. II-B, VI-D).
+
+AIM achieves continuous tuning "naïvely" by running the advisor
+periodically -- its runtime is low enough that this is practical.  The
+tuner also detects and drops unused and prefix-redundant indexes
+("It can also detect and drop (parts of) unused indexes", Sec. I-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..catalog import Index
+from ..engine import Database
+from ..optimizer import CostEvaluator
+from ..workload import (
+    SelectionPolicy,
+    Workload,
+    WorkloadMonitor,
+    select_representative_workload,
+)
+from .advisor import AimAdvisor, AimConfig
+from .explain import Recommendation
+
+
+def find_unused_indexes(db: Database, workload: Workload) -> list[Index]:
+    """Materialized indexes no plan of *workload* uses."""
+    evaluator = CostEvaluator(db, include_schema_indexes=True)
+    used: set[str] = set()
+    for query in workload:
+        plan = evaluator.plan(query.sql)
+        used |= plan.used_indexes
+    return [
+        idx
+        for idx in db.schema.indexes(include_dataless=False)
+        if idx.name not in used
+    ]
+
+
+def find_prefix_redundant_indexes(db: Database) -> list[Index]:
+    """Indexes whose key is a strict prefix of a wider index's key.
+
+    The wider index can answer every query the narrower one can, so the
+    narrower index is pure maintenance overhead ("drop (parts of) unused
+    indexes").
+    """
+    indexes = db.schema.indexes(include_dataless=False)
+    redundant = []
+    for narrow in indexes:
+        for wide in indexes:
+            if narrow.name != wide.name and narrow.is_prefix_of(wide):
+                redundant.append(narrow)
+                break
+    return redundant
+
+
+@dataclass
+class TuningCycleResult:
+    """Outcome of one continuous tuning cycle."""
+
+    recommendation: Optional[Recommendation] = None
+    created: list[Index] = field(default_factory=list)
+    dropped: list[Index] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.created or self.dropped)
+
+
+class ContinuousTuner:
+    """Periodically re-tunes a database from live monitor statistics.
+
+    One ``run_cycle()`` call corresponds to one configurable tuning
+    interval in production: select the representative workload from the
+    monitor, recommend changes *relative to the current configuration*,
+    apply them, and garbage-collect unused indexes.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        budget_bytes: int,
+        config: AimConfig = AimConfig(),
+        monitor: Optional[WorkloadMonitor] = None,
+        selection: SelectionPolicy = SelectionPolicy(),
+        drop_unused: bool = True,
+    ):
+        self.db = db
+        self.budget_bytes = budget_bytes
+        self.monitor = monitor or WorkloadMonitor()
+        self.selection = selection
+        self.drop_unused = drop_unused
+        # Continuous mode always evaluates against the current config.
+        self.config = AimConfig(
+            join_parameter=config.join_parameter,
+            max_index_width=config.max_index_width,
+            merge_orders=config.merge_orders,
+            use_dataless_guidance=config.use_dataless_guidance,
+            ipp_relaxation_rows=config.ipp_relaxation_rows,
+            covering=config.covering,
+            covering_phase=config.covering_phase,
+            covering_weight_fraction=config.covering_weight_fraction,
+            lambda2=config.lambda2,
+            lambda3=config.lambda3,
+            validate=config.validate,
+            relative_to_current=True,
+        )
+        self.history: list[TuningCycleResult] = []
+
+    def run_cycle(self, workload: Optional[Workload] = None) -> TuningCycleResult:
+        """One tuning interval: recommend, apply, clean up."""
+        if workload is None:
+            workload = select_representative_workload(self.monitor, self.selection)
+        result = TuningCycleResult()
+        if len(workload):
+            advisor = AimAdvisor(self.db, self.config, self.monitor)
+            remaining = self.budget_bytes - self.db.total_secondary_index_bytes()
+            recommendation = advisor.recommend(workload, max(0, remaining))
+            result.recommendation = recommendation
+            for index in recommendation.indexes:
+                if not self.db.schema.has_index(index):
+                    self.db.create_index(index.materialized())
+                    result.created.append(index)
+        if self.drop_unused and workload is not None and len(workload):
+            for index in find_prefix_redundant_indexes(self.db):
+                self.db.drop_index(index)
+                result.dropped.append(index)
+            for index in find_unused_indexes(self.db, workload):
+                self.db.drop_index(index)
+                result.dropped.append(index)
+        self.history.append(result)
+        return result

@@ -1,0 +1,104 @@
+"""Index selection as a knapsack problem (paper Sec. III-F).
+
+"Index selection can then be modeled as a knapsack problem where index
+candidates are evaluated in the order of their overall utility per unit
+storage overhead while not violating the budget allocated for indexes."
+
+The greedy density order is the paper's method; an exact DP solver is
+provided for small instances (tests, ablations).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .ranking import RankedCandidate
+
+
+def knapsack_select(
+    candidates: Sequence[RankedCandidate],
+    budget_bytes: int,
+    prune_prefixes: bool = True,
+) -> list[RankedCandidate]:
+    """Greedy selection by utility density under a storage budget.
+
+    Candidates carrying per-query gains (``query_gains``) are selected by
+    *marginal* coverage: once a query's gain is delivered by a chosen
+    index, equivalent orderings of the same columns stop counting it --
+    so merged-order inheritance (Sec. III-F) never double-builds storage.
+    Candidates without per-query gains fall back to their static utility.
+
+    Non-positive-(marginal-)utility candidates never enter.  With
+    *prune_prefixes* a candidate whose key is a prefix of an already
+    selected index on the same table (or vice versa) is skipped.
+    """
+    selected: list[RankedCandidate] = []
+    remaining = max(0, budget_bytes)
+    pool = [c for c in candidates if c.size_bytes <= max(0, budget_bytes)]
+    # Delivery is tracked per (query, table): a join query draws gains
+    # from indexes on several tables, each accounted independently.
+    delivered: dict[tuple[str, str], float] = {}
+
+    def marginal_utility(candidate: RankedCandidate) -> float:
+        if not candidate.query_gains:
+            return candidate.utility
+        table = candidate.index.table
+        gain = sum(
+            max(0.0, g - delivered.get((key, table), 0.0))
+            for key, g in candidate.query_gains.items()
+        )
+        return gain - candidate.maintenance
+
+    while pool:
+        best = None
+        best_key = None
+        for candidate in pool:
+            utility = marginal_utility(candidate)
+            if utility <= 0 or candidate.size_bytes > remaining:
+                continue
+            density = utility / max(1, candidate.size_bytes)
+            key = (density, -len(candidate.index.columns), candidate.index.name)
+            if best is None or key > best_key:
+                best, best_key = candidate, key
+        if best is None:
+            return selected
+        pool.remove(best)
+        if prune_prefixes and any(
+            best.index.is_prefix_of(chosen.index)
+            or chosen.index.is_prefix_of(best.index)
+            for chosen in selected
+        ):
+            continue
+        selected.append(best)
+        remaining -= best.size_bytes
+        table = best.index.table
+        for key, gain in best.query_gains.items():
+            delivered[(key, table)] = max(delivered.get((key, table), 0.0), gain)
+    return selected
+
+
+def knapsack_exact(
+    candidates: Sequence[RankedCandidate],
+    budget_bytes: int,
+    granularity: int = 1 << 16,
+) -> list[RankedCandidate]:
+    """Exact 0/1 knapsack via DP over discretized sizes.
+
+    Sizes are rounded *up* to ``granularity`` so the solution never
+    violates the true budget.  Intended for small candidate sets.
+    """
+    items = [c for c in candidates if c.utility > 0]
+    capacity = budget_bytes // granularity
+    if capacity <= 0 or not items:
+        return []
+    weights = [max(1, -(-c.size_bytes // granularity)) for c in items]
+    # dp[w] = (best utility, chosen bitmask-ish list)
+    dp: list[tuple[float, tuple[int, ...]]] = [(0.0, ())] * (capacity + 1)
+    for i, item in enumerate(items):
+        weight = weights[i]
+        for w in range(capacity, weight - 1, -1):
+            cand_value = dp[w - weight][0] + item.utility
+            if cand_value > dp[w][0]:
+                dp[w] = (cand_value, dp[w - weight][1] + (i,))
+    best = max(dp, key=lambda entry: entry[0])
+    return [items[i] for i in best[1]]

@@ -1,0 +1,121 @@
+"""Merging of partial orders (paper Sec. III-E).
+
+``MergeCandidatesPairwise`` combines two strict partial orders
+``(P, ≺_P)`` and ``(Q, ≺_Q)`` into one when the merge condition holds::
+
+    C_merge := P ⊆ Q  ∧  ¬∃ a, b ∈ P : a ≺_P b ∧ b ≺_Q a
+
+The result is the ordinal sum of P (with Q's order folded in) and the
+leftover columns ``Q \\ P`` (keeping Q's internal order): the paper's
+example merges ``<{col1, col2, col3}>`` with ``<{col2, col3}>`` into
+``<{col2, col3}, {col1}>`` -- an index serving both source queries.
+
+Two engineering refinements relative to the paper's formula, both
+documented in DESIGN.md:
+
+1. Within a P-partition we refine by Q's relative order (C_merge
+   guarantees this refinement is conflict-free), so the merged order stays
+   a linear-extension superset of *both* inputs.
+2. We additionally require that no column of ``Q \\ P`` precede a column
+   of ``P`` under ``≺_Q``; otherwise the merged index could not serve Q
+   with P's columns as its prefix, defeating the merge's purpose.
+
+``merge_partial_orders`` iterates pairwise merging to a fixpoint (Eq. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .partial_order import PartialOrder
+
+#: Safety cap on the per-table partial order set during fixpoint iteration.
+MAX_ORDERS_PER_TABLE = 512
+
+
+def merge_candidates_pairwise(
+    p: PartialOrder, q: PartialOrder
+) -> Optional[PartialOrder]:
+    """Merge P into Q per Sec. III-E; None when ``C_merge`` fails."""
+    if p.table != q.table:
+        return None
+    p_cols = p.columns
+    q_cols = q.columns
+    if not p_cols <= q_cols:
+        return None
+
+    # No conflicting orders among P's columns.
+    for a in p_cols:
+        for b in p_cols:
+            if a != b and p.precedes(a, b) and q.precedes(b, a):
+                return None
+    # Refinement guard: Q may not demand a non-P column before a P column.
+    rest = q_cols - p_cols
+    for a in rest:
+        for b in p_cols:
+            if q.precedes(a, b):
+                return None
+
+    # Head: P's partitions, each refined by Q's partition ranks.
+    head: list[frozenset[str]] = []
+    for part in p.partitions:
+        by_q_rank: dict[int, set[str]] = {}
+        for col in part:
+            by_q_rank.setdefault(q.partition_index(col), set()).add(col)
+        for rank in sorted(by_q_rank):
+            head.append(frozenset(by_q_rank[rank]))
+
+    # Tail: Q \ P in Q's partition order (ordinal sum).
+    tail: list[frozenset[str]] = []
+    for part in q.partitions:
+        leftover = part & rest
+        if leftover:
+            tail.append(frozenset(leftover))
+
+    return PartialOrder(p.table, tuple(head + tail))
+
+
+def merge_partial_orders(
+    orders: Iterable[PartialOrder],
+    max_orders: int = MAX_ORDERS_PER_TABLE,
+) -> set[PartialOrder]:
+    """Fixpoint pairwise merging (Eq. 6): iterate
+    ``PO_{n+1} = {merge(X, Y) | X, Y ∈ PO_n}`` until stable.
+
+    Self-merges keep every original order in the set, so the result is the
+    input plus every reachable merged order.  The per-table *max_orders*
+    cap bounds pathological workloads; hitting it stops expansion early
+    (the already-merged orders remain valid candidates).
+    """
+    current: set[PartialOrder] = set(orders)
+    while True:
+        produced: set[PartialOrder] = set()
+        # Iterate in sorted order so results do not depend on the process
+        # hash seed (set iteration order) when the cap cuts expansion.
+        snapshot = sorted(current, key=str)
+        for p in snapshot:
+            for q in snapshot:
+                if p is q:
+                    continue
+                merged = merge_candidates_pairwise(p, q)
+                if merged is not None and merged not in current:
+                    produced.add(merged)
+                    if len(current) + len(produced) >= max_orders:
+                        return current | produced
+        if not produced:
+            return current
+        current |= produced
+
+
+def merge_by_table(
+    orders: Iterable[PartialOrder],
+    max_orders: int = MAX_ORDERS_PER_TABLE,
+) -> set[PartialOrder]:
+    """Run the merge fixpoint independently per table."""
+    by_table: dict[str, set[PartialOrder]] = {}
+    for order in orders:
+        by_table.setdefault(order.table, set()).add(order)
+    out: set[PartialOrder] = set()
+    for table_orders in by_table.values():
+        out |= merge_partial_orders(table_orders, max_orders)
+    return out

@@ -1,0 +1,142 @@
+"""Partial orders of index columns (paper Sec. III-A3).
+
+A candidate index is denoted by a *strict partial order* of columns on one
+table, written ``<{c1, c2}, {c3}>``: an ordered sequence of disjoint
+column sets (a weak order).  Columns inside one partition may appear in
+any relative order; every column of an earlier partition precedes every
+column of a later partition.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class PartialOrder:
+    """A strict partial order (weak order) of index columns on one table."""
+
+    table: str
+    partitions: tuple[frozenset[str], ...]
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for part in self.partitions:
+            if not part:
+                raise ValueError("empty partition in partial order")
+            overlap = seen & part
+            if overlap:
+                raise ValueError(f"column(s) {overlap} appear in two partitions")
+            seen |= part
+
+    @classmethod
+    def build(
+        cls, table: str, partitions: Iterable[Iterable[str]]
+    ) -> "PartialOrder":
+        """Build from any iterable of column groups, dropping empty ones."""
+        parts = tuple(
+            frozenset(group) for group in partitions if group
+        )
+        return cls(table, parts)
+
+    @classmethod
+    def chain(cls, table: str, columns: Sequence[str]) -> "PartialOrder":
+        """A totally ordered partial order: ``<{c1}, {c2}, ...>``."""
+        return cls(table, tuple(frozenset([c]) for c in columns))
+
+    @property
+    def columns(self) -> frozenset[str]:
+        out: set[str] = set()
+        for part in self.partitions:
+            out |= part
+        return frozenset(out)
+
+    @property
+    def width(self) -> int:
+        return sum(len(part) for part in self.partitions)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.partitions
+
+    def partition_index(self, column: str) -> int:
+        """The 0-based partition a column lives in (KeyError if absent)."""
+        for i, part in enumerate(self.partitions):
+            if column in part:
+                return i
+        raise KeyError(column)
+
+    def precedes(self, a: str, b: str) -> bool:
+        """True if ``a ≺ b`` (a strictly precedes b) in this order."""
+        return self.partition_index(a) < self.partition_index(b)
+
+    def append(self, columns: Iterable[str]) -> "PartialOrder":
+        """Ordinal-sum a trailing partition of *columns* (minus duplicates).
+
+        Implements the ``candidate.append(...)`` operation of Algorithms
+        4, 6 and 7; columns already present are skipped.
+        """
+        extra = frozenset(columns) - self.columns
+        if not extra:
+            return self
+        return PartialOrder(self.table, self.partitions + (extra,))
+
+    def append_chain(self, columns: Sequence[str]) -> "PartialOrder":
+        """Append columns as ordered singleton partitions (ORDER BY)."""
+        result = self
+        for column in columns:
+            if column in result.columns:
+                continue
+            result = PartialOrder(
+                result.table, result.partitions + (frozenset([column]),)
+            )
+        return result
+
+    def satisfied_by(self, total_order: Sequence[str]) -> bool:
+        """True if *total_order* is a linear extension of this order
+        (restricted to exactly this order's columns)."""
+        if set(total_order) != set(self.columns) or len(total_order) != self.width:
+            return False
+        position = {col: i for i, col in enumerate(total_order)}
+        boundary = -1
+        for part in self.partitions:
+            indices = sorted(position[c] for c in part)
+            if indices[0] <= boundary:
+                return False
+            if indices != list(range(indices[0], indices[0] + len(part))):
+                return False
+            boundary = indices[-1]
+        return True
+
+    def total_orders(self) -> Iterator[tuple[str, ...]]:
+        """All linear extensions (use only on narrow orders)."""
+        pools = [itertools.permutations(sorted(part)) for part in self.partitions]
+        for combo in itertools.product(*pools):
+            flat: tuple[str, ...] = ()
+            for group in combo:
+                flat += group
+            yield flat
+
+    def linearize(
+        self, key: Optional[Callable[[str], object]] = None
+    ) -> tuple[str, ...]:
+        """One concrete column order satisfying this partial order.
+
+        The choice within a partition is "arbitrary" in the paper
+        (``GenerateCandidateIndexPerPO``); we sort by *key* when given
+        (e.g. descending NDV, putting the most selective columns first)
+        and alphabetically otherwise, for determinism.
+        """
+        out: list[str] = []
+        for part in self.partitions:
+            cols = sorted(part) if key is None else sorted(part, key=key)
+            out.extend(cols)
+        return tuple(out)
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            "{" + ", ".join(sorted(p)) + "}" for p in self.partitions
+        )
+        return f"{self.table}:<{parts}>"

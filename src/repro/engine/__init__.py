@@ -1,0 +1,20 @@
+"""Storage engine substrate: cost params, B-tree emulation, row storage."""
+
+from .btree import SortedIndex
+from .engine import Database
+from .metrics import ExecutionMetrics
+from .pages import INNODB, INNODB_HDD, INNODB_SSD, ROCKSDB, CostParams
+from .storage import StorageError, TableStorage
+
+__all__ = [
+    "Database",
+    "SortedIndex",
+    "TableStorage",
+    "StorageError",
+    "ExecutionMetrics",
+    "CostParams",
+    "INNODB",
+    "INNODB_SSD",
+    "INNODB_HDD",
+    "ROCKSDB",
+]

@@ -1,0 +1,81 @@
+"""Cost parameters and storage engine profiles.
+
+Costs are expressed in abstract *cost units* that we interpret as CPU
+seconds on the reference machine (the paper's ``cpu_avg`` includes
+CPU_IOWAIT, so I/O work is convertible to CPU seconds; Sec. III-C).
+
+Two storage engine profiles mirror the paper's deployment targets
+(Sec. VI-A): InnoDB (B+ trees; symmetric read/write page costs) and
+RocksDB (LSM trees; cheaper writes via the memtable, slightly costlier
+point reads across levels).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Tunable unit costs for the analytical cost model.
+
+    Attributes:
+        page_size: bytes per page.
+        seq_page_cost: cost of one sequentially read page.
+        random_page_cost: cost of one randomly sought page (PK lookups,
+            inner index probes).  High for spinning disks, lower for SSD.
+        cpu_tuple_cost: per-row processing cost.
+        cpu_operator_cost: per-predicate-evaluation cost.
+        cpu_index_tuple_cost: per-index-entry processing cost.
+        write_page_cost: cost of writing one page (index maintenance).
+        write_amplification: engine-level multiplier on index maintenance
+            (LSM compaction amortizes writes; B+ trees pay in place).
+        sort_unit_cost: multiplier on ``n log2 n`` comparison work.
+    """
+
+    page_size: int = 16384
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 2.0
+    cpu_tuple_cost: float = 0.1
+    cpu_operator_cost: float = 0.01
+    cpu_index_tuple_cost: float = 0.05
+    write_page_cost: float = 2.0
+    write_amplification: float = 1.0
+    sort_unit_cost: float = 0.01
+
+    def pages_for(self, rows: int, row_width: int) -> int:
+        """Number of pages needed to store *rows* rows of *row_width* bytes."""
+        if rows <= 0:
+            return 0
+        rows_per_page = max(1, self.page_size // max(1, row_width))
+        return max(1, math.ceil(rows / rows_per_page))
+
+    def btree_height(self, rows: int) -> int:
+        """Approximate B+tree height (number of non-leaf levels touched)."""
+        if rows <= 1:
+            return 1
+        return max(1, math.ceil(math.log(max(rows, 2), 128)))
+
+
+#: InnoDB-like profile on flash storage (the deployment the paper
+#: describes): random seeks ~2x sequential pages, row evaluation dominates
+#: small scans -- the unit ratios mirror MySQL's io_block_read_cost=1.0 /
+#: row_evaluate_cost=0.1 defaults.
+INNODB = CostParams()
+
+#: Alias making the SSD assumption explicit at call sites.
+INNODB_SSD = INNODB
+
+#: InnoDB on spinning disks: random seeks are much more expensive, which
+#: lowers the covering-index seek threshold (Sec. III-D: "this threshold
+#: is high for fast storage media such as SSDs").
+INNODB_HDD = CostParams(random_page_cost=8.0)
+
+#: RocksDB-like profile: cheap writes (memtable + compaction amortization),
+#: slightly more expensive random reads (level probes).
+ROCKSDB = CostParams(
+    random_page_cost=2.5,
+    write_page_cost=0.6,
+    write_amplification=0.5,
+)

@@ -1,0 +1,6 @@
+"""Plan interpreter executing statements against stored rows."""
+
+from .executor import ExecutionResult, Executor
+from .operators import Aggregator, ExprEvaluator
+
+__all__ = ["Executor", "ExecutionResult", "ExprEvaluator", "Aggregator"]

@@ -1,0 +1,211 @@
+"""Expression evaluation over row scopes.
+
+The executor interprets AST expressions against a *scope*: the current
+row of every bound table.  SQL three-valued logic is approximated with
+Python ``None`` propagation -- a comparison involving NULL is not
+satisfied, matching WHERE-clause semantics.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Any, Mapping, Optional
+
+from ..optimizer.query_info import QueryInfo, ResolutionError
+from ..sqlparser import ast
+
+Row = Mapping[str, Any]
+Scope = Mapping[str, Row]          # binding name -> row
+
+
+class ExprEvaluator:
+    """Evaluates expressions for one analyzed query.
+
+    Unqualified column names are resolved once (against the query's
+    bindings) and cached.
+    """
+
+    def __init__(self, info: QueryInfo, schema):
+        self._info = info
+        self._schema = schema
+        self._resolution: dict[str, str] = {}   # bare column -> binding
+
+    def resolve_binding(self, ref: ast.ColumnRef) -> str:
+        if ref.table is not None:
+            return ref.table
+        if ref.column in self._resolution:
+            return self._resolution[ref.column]
+        matches = [
+            binding
+            for binding, table_name in self._info.bindings.items()
+            if self._schema.table(table_name).has_column(ref.column)
+        ]
+        if len(matches) != 1:
+            raise ResolutionError(f"cannot resolve column {ref.column!r}")
+        self._resolution[ref.column] = matches[0]
+        return matches[0]
+
+    def value(self, expr: ast.Expr, scope: Scope) -> Any:
+        """Evaluate a scalar (non-boolean) expression."""
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.ColumnRef):
+            binding = self.resolve_binding(expr)
+            row = scope.get(binding)
+            return None if row is None else row.get(expr.column)
+        if isinstance(expr, ast.Arithmetic):
+            left = self.value(expr.left, scope)
+            right = self.value(expr.right, scope)
+            if left is None or right is None:
+                return None
+            try:
+                if expr.op == "+":
+                    return left + right
+                if expr.op == "-":
+                    return left - right
+                if expr.op == "*":
+                    return left * right
+                if expr.op == "/":
+                    return left / right if right else None
+                if expr.op == "%":
+                    return left % right if right else None
+            except TypeError:
+                return None
+        if isinstance(expr, ast.Param):
+            raise ValueError("cannot execute a parameterized query (`?`)")
+        if isinstance(expr, ast.FuncCall):
+            raise ValueError(
+                f"aggregate {expr.name} outside aggregation context"
+            )
+        # Boolean sub-expression used as a value.
+        return self.matches(expr, scope)
+
+    def matches(self, expr: Optional[ast.Expr], scope: Scope) -> bool:
+        """Evaluate a predicate; NULL comparisons yield False."""
+        if expr is None:
+            return True
+        if isinstance(expr, ast.And):
+            return all(self.matches(item, scope) for item in expr.items)
+        if isinstance(expr, ast.Or):
+            return any(self.matches(item, scope) for item in expr.items)
+        if isinstance(expr, ast.Not):
+            return not self.matches(expr.item, scope)
+        if isinstance(expr, ast.Comparison):
+            return self._compare(expr, scope)
+        if isinstance(expr, ast.InList):
+            value = self.value(expr.expr, scope)
+            if value is None:
+                return False
+            items = [self.value(item, scope) for item in expr.items]
+            result = any(_sql_eq(value, item) for item in items)
+            return (not result) if expr.negated else result
+        if isinstance(expr, ast.Between):
+            value = self.value(expr.expr, scope)
+            low = self.value(expr.low, scope)
+            high = self.value(expr.high, scope)
+            if value is None or low is None or high is None:
+                return False
+            try:
+                result = low <= value <= high
+            except TypeError:
+                return False
+            return (not result) if expr.negated else result
+        if isinstance(expr, ast.IsNull):
+            value = self.value(expr.expr, scope)
+            return (value is not None) if expr.negated else (value is None)
+        if isinstance(expr, ast.Literal):
+            return bool(expr.value)
+        raise ValueError(f"cannot evaluate predicate {expr.to_sql()}")
+
+    def _compare(self, expr: ast.Comparison, scope: Scope) -> bool:
+        left = self.value(expr.left, scope)
+        right = self.value(expr.right, scope)
+        op = expr.op
+        if op == "<=>":
+            return _sql_eq(left, right) or (left is None and right is None)
+        if left is None or right is None:
+            return False
+        if op == "LIKE":
+            return _like(str(left), str(right))
+        try:
+            if op == "=":
+                return _sql_eq(left, right)
+            if op == "!=":
+                return not _sql_eq(left, right)
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+        except TypeError:
+            return False
+        raise ValueError(f"unknown comparison operator {op!r}")
+
+
+def _sql_eq(left: Any, right: Any) -> bool:
+    if left is None or right is None:
+        return False
+    if isinstance(left, bool) or isinstance(right, bool):
+        return left == right
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left == right
+    return str(left) == str(right) if type(left) is not type(right) else left == right
+
+
+@lru_cache(maxsize=1024)
+def _like_regex(pattern: str) -> "re.Pattern[str]":
+    regex = re.escape(pattern).replace(r"%", ".*").replace(r"_", ".")
+    return re.compile(f"^{regex}$", re.DOTALL)
+
+
+def _like(value: str, pattern: str) -> bool:
+    return _like_regex(pattern).match(value) is not None
+
+
+class Aggregator:
+    """Accumulates one aggregate function over a group."""
+
+    def __init__(self, func: ast.FuncCall):
+        self.func = func
+        self.count = 0
+        self.total: Any = None
+        self.min_value: Any = None
+        self.max_value: Any = None
+        self.distinct_values: set = set()
+
+    def add(self, evaluator: ExprEvaluator, scope: Scope) -> None:
+        if self.func.star:
+            self.count += 1
+            return
+        value = evaluator.value(self.func.args[0], scope)
+        if value is None:
+            return
+        if self.func.distinct:
+            if value in self.distinct_values:
+                return
+            self.distinct_values.add(value)
+        self.count += 1
+        if self.func.name in ("SUM", "AVG"):
+            self.total = value if self.total is None else self.total + value
+        if self.func.name == "MIN":
+            self.min_value = value if self.min_value is None else min(self.min_value, value)
+        if self.func.name == "MAX":
+            self.max_value = value if self.max_value is None else max(self.max_value, value)
+
+    def result(self) -> Any:
+        name = self.func.name
+        if name == "COUNT":
+            return self.count
+        if name == "SUM":
+            return self.total
+        if name == "AVG":
+            return None if self.count == 0 else self.total / self.count
+        if name == "MIN":
+            return self.min_value
+        if name == "MAX":
+            return self.max_value
+        raise ValueError(f"unknown aggregate {name}")

@@ -1,0 +1,34 @@
+"""Operational layer: replicas, stats export, MyShadow, regression
+ detection, the centralized coordinator and the replay simulator."""
+
+from .coordinator import FleetCoordinator, ManagedDatabase
+from .myshadow import MyShadow, ShadowReport
+from .regression import ContinuousRegressionDetector, RegressionEvent
+from .replay import (
+    ReplayConfig,
+    ReplaySimulator,
+    Timeline,
+    TimelinePoint,
+    incremental_index_events,
+)
+from .replica import Replica, ReplicaSet
+from .stats_export import PubSubChannel, StatsExportDaemon, StatsWarehouse
+
+__all__ = [
+    "Replica",
+    "ReplicaSet",
+    "PubSubChannel",
+    "StatsWarehouse",
+    "StatsExportDaemon",
+    "MyShadow",
+    "ShadowReport",
+    "ContinuousRegressionDetector",
+    "RegressionEvent",
+    "FleetCoordinator",
+    "ManagedDatabase",
+    "ReplayConfig",
+    "ReplaySimulator",
+    "Timeline",
+    "TimelinePoint",
+    "incremental_index_events",
+]

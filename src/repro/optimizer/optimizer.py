@@ -1,0 +1,121 @@
+"""The optimizer facade.
+
+:class:`Optimizer` is the single entry point every advisor and the
+executor use: ``explain(statement)`` -> :class:`Plan`.  It plans SELECTs
+through the join-order planner and DML through the SELECT planner (to
+locate affected rows) plus the maintenance cost model.
+
+The facade counts optimizer invocations (``calls``) -- the metric that
+dominates advisor runtime in practice (Papadomanolakis et al.: index
+selection tools spend ~90% of their time in the optimizer; paper
+Sec. VIII-a) and that Fig 4b/4d's runtime comparison hinges on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence, Union
+
+from ..catalog import Index
+from ..engine import Database
+from ..sqlparser import ast, parse
+from .cost_model import affected_rows, dml_base_cost, maintenance_cost
+from .join_order import SelectPlanner
+from .plan import JoinStep, Plan
+from .query_info import QueryInfo, analyze_query
+
+Statement = Union[str, ast.Statement, QueryInfo]
+
+
+class Optimizer:
+    """Cost-based optimizer over a :class:`~repro.engine.Database`."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.calls = 0
+
+    def analyze(self, stmt: Statement) -> QueryInfo:
+        """Parse/resolve a statement into QueryInfo (idempotent)."""
+        if isinstance(stmt, QueryInfo):
+            return stmt
+        if isinstance(stmt, str):
+            stmt = parse(stmt)
+        return analyze_query(stmt, self.db.schema)
+
+    def explain(
+        self,
+        stmt: Statement,
+        extra_indexes: Sequence[Index] = (),
+        materialized_only: bool = False,
+    ) -> Plan:
+        """Plan a statement under the current configuration plus
+        *extra_indexes* (typically dataless candidates).
+
+        With *materialized_only* the plan may only use indexes that
+        physically exist -- the executor's planning mode (a dataless index
+        has no data to scan).
+        """
+        self.calls += 1
+        info = self.analyze(stmt)
+        if materialized_only:
+            extra_indexes = [idx for idx in extra_indexes if not idx.dataless]
+        if isinstance(info.stmt, ast.Select):
+            planner = SelectPlanner(
+                self.db.schema,
+                self.db.stats,
+                self.db.params,
+                info,
+                extra_indexes,
+                materialized_only=materialized_only,
+                switches=self.db.switches,
+            )
+            return planner.plan()
+        return self._explain_dml(info, extra_indexes)
+
+    def cost(self, stmt: Statement, extra_indexes: Sequence[Index] = ()) -> float:
+        """Total estimated cost of a statement."""
+        return self.explain(stmt, extra_indexes).total_cost
+
+    def _explain_dml(self, info: QueryInfo, extra_indexes: Sequence[Index]) -> Plan:
+        stmt = info.stmt
+        schema, stats, params = self.db.schema, self.db.stats, self.db.params
+        rows = affected_rows(info, schema, stats)
+        steps: list[JoinStep] = []
+        locate_cost = 0.0
+        if isinstance(stmt, (ast.Update, ast.Delete)) and not isinstance(stmt, ast.Insert):
+            select_info = self._locator_info(info)
+            planner = SelectPlanner(schema, stats, params, select_info, extra_indexes)
+            locate_plan = planner.plan()
+            steps = locate_plan.steps
+            locate_cost = locate_plan.total_cost
+
+        base = dml_base_cost(info, schema, stats, params, locate_cost, rows)
+        table_name = next(iter(info.bindings.values()))
+        all_indexes = {
+            idx.name: idx for idx in self.db.schema.indexes(table=table_name)
+        }
+        for idx in extra_indexes:
+            if idx.table == table_name:
+                all_indexes.setdefault(idx.name, idx)
+        maintenance = sum(
+            maintenance_cost(info, idx, schema, stats, params, rows)
+            for idx in all_indexes.values()
+        )
+        return Plan(
+            info=info,
+            steps=steps,
+            rows_out=0.0,
+            total_cost=base + maintenance,
+            maintenance_cost=maintenance,
+        )
+
+    def _locator_info(self, info: QueryInfo) -> QueryInfo:
+        """Re-cast a DML statement as the SELECT that finds its rows."""
+        stmt = info.stmt
+        assert isinstance(stmt, (ast.Update, ast.Delete))
+        select = ast.Select(
+            items=(ast.SelectItem(ast.Star()),),
+            tables=(stmt.table,),
+            where=stmt.where,
+        )
+        return analyze_query(select, self.db.schema)

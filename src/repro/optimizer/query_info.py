@@ -1,0 +1,277 @@
+"""Schema-resolved query analysis.
+
+:func:`analyze_query` turns a parsed statement plus a schema into a
+:class:`QueryInfo`: table bindings, per-binding filter predicates, the join
+graph, grouping/ordering columns and referenced columns.  Both the
+optimizer (access path + join order selection) and AIM's candidate
+generation (paper Sec. IV, Table I "column usage metadata / structural
+metadata") consume this single analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..catalog import CatalogError, Schema
+from ..sqlparser import ast
+from ..sqlparser.predicates import (
+    AtomicPredicate,
+    classify_atomic,
+    join_predicate,
+    split_conjuncts,
+)
+
+
+class ResolutionError(ValueError):
+    """Raised when a column or table reference cannot be resolved."""
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """One equi-join predicate: an edge in the table join graph (Fig 2)."""
+
+    left_binding: str
+    left_column: str
+    right_binding: str
+    right_column: str
+
+    def other(self, binding: str) -> tuple[str, str]:
+        """The (binding, column) on the opposite side of *binding*."""
+        if binding == self.left_binding:
+            return self.right_binding, self.right_column
+        if binding == self.right_binding:
+            return self.left_binding, self.left_column
+        raise KeyError(binding)
+
+    def column_of(self, binding: str) -> str:
+        """The column this edge touches on *binding*'s side."""
+        if binding == self.left_binding:
+            return self.left_column
+        if binding == self.right_binding:
+            return self.right_column
+        raise KeyError(binding)
+
+    def touches(self, binding: str) -> bool:
+        return binding in (self.left_binding, self.right_binding)
+
+
+@dataclass(frozen=True)
+class OrderColumn:
+    """One resolved ORDER BY column."""
+
+    binding: str
+    column: str
+    desc: bool
+
+
+@dataclass
+class QueryInfo:
+    """Structural metadata of one SELECT/DML statement.
+
+    Attributes:
+        stmt: the analyzed statement.
+        bindings: binding name (alias or table name) -> real table name.
+        filters: per binding, the atomic predicates appearing as top-level
+            WHERE/ON conjuncts (sargable and residual alike).
+        complex_conjuncts: non-atomic top-level conjuncts (OR trees etc.)
+            with the set of bindings they touch.
+        join_edges: equi-join predicates between bindings.
+        group_by: resolved GROUP BY columns (binding, column), in order.
+        order_by: resolved ORDER BY columns.
+        referenced: per binding, every column the query touches (select
+            list, predicates, grouping, ordering).  Drives covering-index
+            construction (``ReferencedColumns`` in Algorithms 4/6/7).
+        select_star: the query projects ``*`` (covering is impossible
+            unless the index holds every column).
+        straight_join: join order is predetermined (MySQL STRAIGHT_JOIN).
+        limit: LIMIT value if present (``-1`` for a parameterized limit).
+    """
+
+    stmt: ast.Statement
+    bindings: dict[str, str] = field(default_factory=dict)
+    filters: dict[str, list[AtomicPredicate]] = field(default_factory=dict)
+    complex_conjuncts: list[tuple[frozenset[str], ast.Expr]] = field(default_factory=list)
+    join_edges: list[JoinEdge] = field(default_factory=list)
+    group_by: list[tuple[str, str]] = field(default_factory=list)
+    order_by: list[OrderColumn] = field(default_factory=list)
+    referenced: dict[str, set[str]] = field(default_factory=dict)
+    select_star: bool = False
+    straight_join: bool = False
+    limit: Optional[int] = None
+
+    def table_of(self, binding: str) -> str:
+        return self.bindings[binding]
+
+    def sargable_filters(self, binding: str) -> list[AtomicPredicate]:
+        """Filter predicates an index on *binding* could serve."""
+        return [p for p in self.filters.get(binding, []) if p.is_sargable]
+
+    def edges_of(self, binding: str) -> list[JoinEdge]:
+        return [e for e in self.join_edges if e.touches(binding)]
+
+    def joined_bindings(self, binding: str) -> set[str]:
+        """Bindings sharing at least one join predicate with *binding*."""
+        return {e.other(binding)[0] for e in self.edges_of(binding)}
+
+    @property
+    def is_join_query(self) -> bool:
+        return len(self.bindings) > 1
+
+
+def analyze_query(stmt: ast.Statement, schema: Schema) -> QueryInfo:
+    """Resolve and analyze *stmt* against *schema*."""
+    if isinstance(stmt, ast.Select):
+        return _analyze_select(stmt, schema)
+    if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+        return _analyze_dml(stmt, schema)
+    raise TypeError(f"cannot analyze {type(stmt).__name__}")
+
+
+def _analyze_select(stmt: ast.Select, schema: Schema) -> QueryInfo:
+    info = QueryInfo(stmt=stmt)
+    for ref in stmt.all_table_refs():
+        table = schema.table(ref.name)   # raises CatalogError if unknown
+        if ref.binding in info.bindings:
+            raise ResolutionError(f"duplicate table binding {ref.binding!r}")
+        info.bindings[ref.binding] = table.name
+        info.filters[ref.binding] = []
+        info.referenced[ref.binding] = set()
+    info.straight_join = any(j.kind == "STRAIGHT" for j in stmt.joins)
+
+    resolver = _Resolver(info, schema)
+
+    # WHERE plus every JOIN ... ON condition contribute conjuncts alike.
+    conjuncts = split_conjuncts(stmt.where)
+    for join in stmt.joins:
+        conjuncts.extend(split_conjuncts(join.condition))
+    for conjunct in conjuncts:
+        resolver.add_conjunct(conjunct)
+
+    for item in stmt.items:
+        if isinstance(item.expr, ast.Star):
+            info.select_star = True
+            if item.expr.table:
+                binding = resolver.resolve_binding(item.expr.table)
+                table = schema.table(info.bindings[binding])
+                info.referenced[binding] |= set(table.column_names)
+            else:
+                for binding, table_name in info.bindings.items():
+                    info.referenced[binding] |= set(
+                        schema.table(table_name).column_names
+                    )
+            continue
+        resolver.note_references(item.expr)
+
+    for expr in stmt.group_by:
+        ref = resolver.resolve_column_expr(expr)
+        if ref is not None:
+            info.group_by.append(ref)
+    if stmt.having is not None:
+        resolver.note_references(stmt.having)
+    for order_item in stmt.order_by:
+        ref = resolver.resolve_column_expr(order_item.expr)
+        if ref is not None:
+            info.order_by.append(OrderColumn(ref[0], ref[1], order_item.desc))
+    info.limit = stmt.limit
+    return info
+
+
+def _analyze_dml(stmt: ast.Statement, schema: Schema) -> QueryInfo:
+    if isinstance(stmt, ast.Insert):
+        table_ref, where = stmt.table, None
+    elif isinstance(stmt, ast.Update):
+        table_ref, where = stmt.table, stmt.where
+    else:
+        assert isinstance(stmt, ast.Delete)
+        table_ref, where = stmt.table, stmt.where
+    info = QueryInfo(stmt=stmt)
+    table = schema.table(table_ref.name)
+    binding = table_ref.binding
+    info.bindings[binding] = table.name
+    info.filters[binding] = []
+    info.referenced[binding] = set()
+    resolver = _Resolver(info, schema)
+    for conjunct in split_conjuncts(where):
+        resolver.add_conjunct(conjunct)
+    if isinstance(stmt, ast.Update):
+        for col, expr in stmt.assignments:
+            info.referenced[binding].add(col)
+            resolver.note_references(expr)
+    if isinstance(stmt, ast.Insert):
+        info.referenced[binding] |= set(stmt.columns)
+    return info
+
+
+class _Resolver:
+    """Resolves column references to (binding, column) pairs."""
+
+    def __init__(self, info: QueryInfo, schema: Schema):
+        self._info = info
+        self._schema = schema
+
+    def resolve_binding(self, name: str) -> str:
+        if name in self._info.bindings:
+            return name
+        raise ResolutionError(f"unknown table binding {name!r}")
+
+    def resolve(self, ref: ast.ColumnRef) -> tuple[str, str]:
+        """Resolve a column reference to (binding, column)."""
+        if ref.table is not None:
+            binding = self.resolve_binding(ref.table)
+            table = self._schema.table(self._info.bindings[binding])
+            if not table.has_column(ref.column):
+                raise ResolutionError(
+                    f"no column {ref.column!r} in {binding} ({table.name})"
+                )
+            return binding, ref.column
+        matches = [
+            binding
+            for binding, table_name in self._info.bindings.items()
+            if self._schema.table(table_name).has_column(ref.column)
+        ]
+        if not matches:
+            raise ResolutionError(f"unresolvable column {ref.column!r}")
+        if len(matches) > 1:
+            raise ResolutionError(
+                f"ambiguous column {ref.column!r}: matches {matches}"
+            )
+        return matches[0], ref.column
+
+    def resolve_column_expr(self, expr: ast.Expr) -> Optional[tuple[str, str]]:
+        """Resolve a bare-column expression; notes refs for anything else."""
+        if isinstance(expr, ast.ColumnRef):
+            binding, column = self.resolve(expr)
+            self._info.referenced[binding].add(column)
+            return binding, column
+        self.note_references(expr)
+        return None
+
+    def note_references(self, expr: ast.Expr) -> None:
+        """Record every column an expression touches."""
+        for ref in ast.column_refs(expr):
+            binding, column = self.resolve(ref)
+            self._info.referenced[binding].add(column)
+
+    def add_conjunct(self, conjunct: ast.Expr) -> None:
+        """Classify one top-level conjunct into the QueryInfo buckets."""
+        info = self._info
+        self.note_references(conjunct)
+        joined = join_predicate(conjunct)
+        if joined is not None:
+            left_b, left_c = self.resolve(joined[0])
+            right_b, right_c = self.resolve(joined[1])
+            if left_b != right_b:
+                info.join_edges.append(JoinEdge(left_b, left_c, right_b, right_c))
+                return
+            # Same binding on both sides: treat as a residual predicate.
+        atomic = classify_atomic(conjunct)
+        if atomic is not None:
+            binding, column = self.resolve(atomic.column)
+            resolved = AtomicPredicate(
+                ast.ColumnRef(binding, column), atomic.op, atomic.expr
+            )
+            info.filters[binding].append(resolved)
+            return
+        touched = frozenset(self.resolve(r)[0] for r in ast.column_refs(conjunct))
+        info.complex_conjuncts.append((touched, conjunct))

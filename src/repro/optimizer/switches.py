@@ -1,0 +1,37 @@
+"""Optimizer switches (paper Sec. VIII-a).
+
+"Optimizer switches are often used to influence the query optimizer plan
+selection. ... Features like index skip scan, index merge intersections
+etc. maybe switched off for a subset of databases due to correctness and
+performance bugs.  Making the index candidate generation aware of their
+values improves the efficiency of the algorithm."
+
+The switches gate optional plan features:
+
+* ``skip_scan`` -- MySQL 8's skip-scan range access: an index whose
+  *leading* column has no predicate can still bound a scan when that
+  column's NDV is small (one subrange per distinct leading value).
+  Off by default, matching the production posture the paper describes.
+* ``index_condition_pushdown`` -- evaluate residual key-column predicates
+  inside the index before the clustered-PK lookup.
+* ``hash_join`` -- allow hash joins as an alternative to nested loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OptimizerSwitches:
+    """Feature flags consulted by the planner (and by AIM's candidate
+    generation, which prunes candidates a switched-on feature makes
+    redundant)."""
+
+    skip_scan: bool = False
+    skip_scan_max_ndv: int = 200
+    index_condition_pushdown: bool = True
+    hash_join: bool = True
+
+
+DEFAULT_SWITCHES = OptimizerSwitches()

@@ -1,0 +1,36 @@
+"""SQL front end: lexer, parser, AST, normalization and predicate analysis."""
+
+from . import ast
+from .lexer import LexError, tokenize
+from .normalizer import fingerprint, normalize_sql, normalize_statement
+from .parser import ParseError, parse, parse_select
+from .predicates import (
+    AtomicPredicate,
+    IPP_OPS,
+    RANGE_OPS,
+    classify_atomic,
+    join_predicate,
+    split_conjuncts,
+    split_disjuncts,
+    to_dnf,
+)
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "LexError",
+    "parse",
+    "parse_select",
+    "ParseError",
+    "normalize_sql",
+    "normalize_statement",
+    "fingerprint",
+    "AtomicPredicate",
+    "IPP_OPS",
+    "RANGE_OPS",
+    "classify_atomic",
+    "join_predicate",
+    "split_conjuncts",
+    "split_disjuncts",
+    "to_dnf",
+]

@@ -1,0 +1,453 @@
+"""Abstract syntax tree for the SQL subset.
+
+Every node renders itself back to canonical SQL through :meth:`Node.to_sql`,
+which is what query normalization uses to produce stable fingerprints.
+Nodes are plain (hashable where useful) dataclasses; tree rewriting is done
+functionally via :func:`map_expr`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Sequence, Union
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    def to_sql(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_sql()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expr(Node):
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """Reference to a column, optionally qualified by a table name or alias."""
+
+    table: Optional[str]
+    column: str
+
+    def to_sql(self) -> str:
+        if self.table:
+            return f"{self.table}.{self.column}"
+        return self.column
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: number, string, boolean or NULL."""
+
+    value: Union[int, float, str, bool, None]
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """The ``?`` placeholder of a normalized (parameterized) query."""
+
+    def to_sql(self) -> str:
+        return "?"
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """A binary comparison such as ``a = b`` or ``a <= 5``.
+
+    ``op`` is one of ``=``, ``<=>``, ``!=``, ``<``, ``<=``, ``>``, ``>=``,
+    ``LIKE``.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def to_sql(self) -> str:
+        return f"{self.left.to_sql()} {self.op} {self.right.to_sql()}"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (item, ...)`` with a literal item list."""
+
+    expr: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        inner = ", ".join(item.to_sql() for item in self.items)
+        neg = "NOT " if self.negated else ""
+        return f"{self.expr.to_sql()} {neg}IN ({inner})"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    expr: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return (
+            f"{self.expr.to_sql()} {neg}BETWEEN "
+            f"{self.low.to_sql()} AND {self.high.to_sql()}"
+        )
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    expr: Expr
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"{self.expr.to_sql()} IS {neg}NULL"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Conjunction of two or more expressions."""
+
+    items: tuple[Expr, ...]
+
+    def to_sql(self) -> str:
+        return " AND ".join(_paren_if_or(item) for item in self.items)
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Disjunction of two or more expressions."""
+
+    items: tuple[Expr, ...]
+
+    def to_sql(self) -> str:
+        return " OR ".join(item.to_sql() for item in self.items)
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical negation."""
+
+    item: Expr
+
+    def to_sql(self) -> str:
+        return f"NOT ({self.item.to_sql()})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """A function or aggregate call, e.g. ``COUNT(*)`` or ``SUM(price)``."""
+
+    name: str
+    args: tuple[Expr, ...] = ()
+    star: bool = False
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        if self.star:
+            return f"{self.name}(*)"
+        inner = ", ".join(arg.to_sql() for arg in self.args)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({prefix}{inner})"
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name in {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expr):
+    """A binary arithmetic expression (``+ - * / %``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+def _paren_if_or(expr: Expr) -> str:
+    """Parenthesize OR children inside an AND for correct precedence."""
+    if isinstance(expr, Or):
+        return f"({expr.to_sql()})"
+    return expr.to_sql()
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    """One projection item in the select list (``expr [AS alias]``)."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+    def to_sql(self) -> str:
+        if self.alias:
+            return f"{self.expr.to_sql()} AS {self.alias}"
+        return self.expr.to_sql()
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """A bare ``*`` (optionally ``t.*``) projection."""
+
+    table: Optional[str] = None
+
+    def to_sql(self) -> str:
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclass(frozen=True)
+class TableRef(Node):
+    """A table in the FROM clause, optionally aliased."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """Name under which columns of this table instance are referenced."""
+        return self.alias or self.name
+
+    def to_sql(self) -> str:
+        if self.alias:
+            return f"{self.name} AS {self.alias}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Join(Node):
+    """An explicit join clause: ``kind JOIN table ON condition``.
+
+    ``kind`` is one of ``INNER``, ``LEFT``, ``RIGHT``, ``CROSS``,
+    ``STRAIGHT``.  ``STRAIGHT`` corresponds to MySQL STRAIGHT_JOIN whose
+    join order is predetermined (paper Sec. IV-C footnote).
+    """
+
+    kind: str
+    table: TableRef
+    condition: Optional[Expr]
+
+    def to_sql(self) -> str:
+        kw = "STRAIGHT_JOIN" if self.kind == "STRAIGHT" else f"{self.kind} JOIN"
+        base = f"{kw} {self.table.to_sql()}"
+        if self.condition is not None:
+            base += f" ON {self.condition.to_sql()}"
+        return base
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    """One ORDER BY item."""
+
+    expr: Expr
+    desc: bool = False
+
+    def to_sql(self) -> str:
+        return f"{self.expr.to_sql()} DESC" if self.desc else self.expr.to_sql()
+
+
+class Statement(Node):
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    """A SELECT statement over the supported subset."""
+
+    items: tuple[SelectItem, ...]
+    tables: tuple[TableRef, ...]
+    joins: tuple[Join, ...] = ()
+    where: Optional[Expr] = None
+    group_by: tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(item.to_sql() for item in self.items))
+        parts.append("FROM")
+        parts.append(", ".join(t.to_sql() for t in self.tables))
+        for join in self.joins:
+            parts.append(join.to_sql())
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.to_sql()}")
+        if self.group_by:
+            parts.append(
+                "GROUP BY " + ", ".join(e.to_sql() for e in self.group_by)
+            )
+        if self.having is not None:
+            parts.append(f"HAVING {self.having.to_sql()}")
+        if self.order_by:
+            parts.append(
+                "ORDER BY " + ", ".join(o.to_sql() for o in self.order_by)
+            )
+        if self.limit is not None:
+            # -1 denotes a parameterized bound (``LIMIT ?``).
+            parts.append("LIMIT ?" if self.limit == -1 else f"LIMIT {self.limit}")
+        if self.offset is not None:
+            parts.append("OFFSET ?" if self.offset == -1 else f"OFFSET {self.offset}")
+        return " ".join(parts)
+
+    def all_table_refs(self) -> tuple[TableRef, ...]:
+        """All table instances referenced by the FROM clause and joins."""
+        return self.tables + tuple(join.table for join in self.joins)
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    """``INSERT INTO t (cols) VALUES (...), (...)``."""
+
+    table: TableRef
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Expr, ...], ...]
+
+    def to_sql(self) -> str:
+        cols = ", ".join(self.columns)
+        rows = ", ".join(
+            "(" + ", ".join(v.to_sql() for v in row) + ")" for row in self.rows
+        )
+        return f"INSERT INTO {self.table.to_sql()} ({cols}) VALUES {rows}"
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    """``UPDATE t SET col = expr, ... [WHERE ...]``."""
+
+    table: TableRef
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+    def to_sql(self) -> str:
+        sets = ", ".join(f"{c} = {e.to_sql()}" for c, e in self.assignments)
+        base = f"UPDATE {self.table.to_sql()} SET {sets}"
+        if self.where is not None:
+            base += f" WHERE {self.where.to_sql()}"
+        return base
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    """``DELETE FROM t [WHERE ...]``."""
+
+    table: TableRef
+    where: Optional[Expr] = None
+
+    def to_sql(self) -> str:
+        base = f"DELETE FROM {self.table.to_sql()}"
+        if self.where is not None:
+            base += f" WHERE {self.where.to_sql()}"
+        return base
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+def iter_exprs(expr: Optional[Expr]) -> Iterator[Expr]:
+    """Depth-first pre-order iteration over an expression tree."""
+    if expr is None:
+        return
+    stack: list[Expr] = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(list(_children(node))))
+
+
+def _children(expr: Expr) -> Sequence[Expr]:
+    if isinstance(expr, Comparison):
+        return (expr.left, expr.right)
+    if isinstance(expr, InList):
+        return (expr.expr, *expr.items)
+    if isinstance(expr, Between):
+        return (expr.expr, expr.low, expr.high)
+    if isinstance(expr, IsNull):
+        return (expr.expr,)
+    if isinstance(expr, (And, Or)):
+        return expr.items
+    if isinstance(expr, Not):
+        return (expr.item,)
+    if isinstance(expr, FuncCall):
+        return expr.args
+    if isinstance(expr, Arithmetic):
+        return (expr.left, expr.right)
+    return ()
+
+
+def map_expr(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
+    """Rebuild an expression bottom-up, applying *fn* to every node.
+
+    *fn* receives each node after its children were rewritten and returns
+    the (possibly replaced) node.
+    """
+    if isinstance(expr, Comparison):
+        expr = Comparison(expr.op, map_expr(expr.left, fn), map_expr(expr.right, fn))
+    elif isinstance(expr, InList):
+        expr = InList(
+            map_expr(expr.expr, fn),
+            tuple(map_expr(item, fn) for item in expr.items),
+            expr.negated,
+        )
+    elif isinstance(expr, Between):
+        expr = Between(
+            map_expr(expr.expr, fn),
+            map_expr(expr.low, fn),
+            map_expr(expr.high, fn),
+            expr.negated,
+        )
+    elif isinstance(expr, IsNull):
+        expr = IsNull(map_expr(expr.expr, fn), expr.negated)
+    elif isinstance(expr, And):
+        expr = And(tuple(map_expr(item, fn) for item in expr.items))
+    elif isinstance(expr, Or):
+        expr = Or(tuple(map_expr(item, fn) for item in expr.items))
+    elif isinstance(expr, Not):
+        expr = Not(map_expr(expr.item, fn))
+    elif isinstance(expr, FuncCall):
+        expr = FuncCall(
+            expr.name,
+            tuple(map_expr(arg, fn) for arg in expr.args),
+            expr.star,
+            expr.distinct,
+        )
+    elif isinstance(expr, Arithmetic):
+        expr = Arithmetic(expr.op, map_expr(expr.left, fn), map_expr(expr.right, fn))
+    return fn(expr)
+
+
+def column_refs(expr: Optional[Expr]) -> list[ColumnRef]:
+    """All :class:`ColumnRef` nodes in an expression, in traversal order."""
+    return [node for node in iter_exprs(expr) if isinstance(node, ColumnRef)]

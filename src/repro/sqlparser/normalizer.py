@@ -1,0 +1,79 @@
+"""Query normalization (parameterization).
+
+A normalized query replaces literal parameters with ``?`` placeholders so
+that queries sharing a structure group together (paper Sec. III-A1).  The
+workload monitor keys all execution statistics by the normalized SQL text.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from . import ast
+from .parser import parse
+
+
+def normalize_expr(expr: Optional[ast.Expr]) -> Optional[ast.Expr]:
+    """Replace every literal in *expr* with a :class:`~repro.sqlparser.ast.Param`.
+
+    IN-lists collapse to a single placeholder item so that
+    ``x IN (1, 2)`` and ``x IN (1, 2, 3)`` normalize identically, mirroring
+    production statement digesting.
+    """
+    if expr is None:
+        return None
+
+    def replace(node: ast.Expr) -> ast.Expr:
+        if isinstance(node, ast.Literal):
+            return ast.Param()
+        if isinstance(node, ast.InList):
+            return ast.InList(node.expr, (ast.Param(),), node.negated)
+        return node
+
+    return ast.map_expr(expr, replace)
+
+
+def normalize_statement(stmt: ast.Statement) -> ast.Statement:
+    """Return the normalized (parameterized) form of a statement."""
+    if isinstance(stmt, ast.Select):
+        return ast.Select(
+            items=stmt.items,
+            tables=stmt.tables,
+            joins=tuple(
+                ast.Join(j.kind, j.table, normalize_expr(j.condition))
+                for j in stmt.joins
+            ),
+            where=normalize_expr(stmt.where),
+            group_by=stmt.group_by,
+            having=normalize_expr(stmt.having),
+            order_by=stmt.order_by,
+            limit=-1 if stmt.limit is not None else None,
+            offset=-1 if stmt.offset is not None else None,
+            distinct=stmt.distinct,
+        )
+    if isinstance(stmt, ast.Insert):
+        # All VALUES rows collapse to one parameterized row.
+        width = len(stmt.columns)
+        row = tuple(ast.Param() for _ in range(width))
+        return ast.Insert(stmt.table, stmt.columns, (row,))
+    if isinstance(stmt, ast.Update):
+        assignments = tuple(
+            (col, ast.Param() if isinstance(e, ast.Literal) else e)
+            for col, e in stmt.assignments
+        )
+        return ast.Update(stmt.table, assignments, normalize_expr(stmt.where))
+    if isinstance(stmt, ast.Delete):
+        return ast.Delete(stmt.table, normalize_expr(stmt.where))
+    raise TypeError(f"cannot normalize {type(stmt).__name__}")
+
+
+def normalize_sql(sql: str) -> str:
+    """Parse *sql* and render its normalized form back to canonical text."""
+    return normalize_statement(parse(sql)).to_sql()
+
+
+def fingerprint(sql: str) -> str:
+    """Stable 16-hex-digit digest of the normalized form of *sql*."""
+    normalized = normalize_sql(sql)
+    return hashlib.sha256(normalized.encode()).hexdigest()[:16]

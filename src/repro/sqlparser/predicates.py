@@ -1,0 +1,202 @@
+"""Predicate analysis primitives.
+
+These utilities decompose WHERE clauses into the pieces AIM's candidate
+generation consumes:
+
+* conjunct / disjunct flattening,
+* disjunctive normal form (DNF) factorization -- the paper's
+  ``FactorizeIndexPredicates`` uses DNF, "the algorithm employed by MySQL"
+  (Sec. IV-B1),
+* atomic predicate classification, in particular the *index prefix
+  predicate* (IPP) test of Sec. IV-B2,
+* join predicate detection (``t1.a = t2.b`` across table instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from . import ast
+
+#: Operators whose matching rows share a constant index prefix (Sec. IV-B2).
+IPP_OPS = frozenset({"=", "<=>", "IN", "IS NULL"})
+
+#: Range operators: sargable but without additive prefix benefit.
+RANGE_OPS = frozenset({"<", "<=", ">", ">=", "BETWEEN", "LIKE"})
+
+#: Operators an index cannot use to bound a scan.
+RESIDUAL_OPS = frozenset({"!=", "NOT IN", "IS NOT NULL", "NOT BETWEEN", "NOT LIKE"})
+
+
+@dataclass(frozen=True)
+class AtomicPredicate:
+    """A single-column predicate comparing a column with constants.
+
+    Attributes:
+        column: the referenced column (as written, i.e. possibly alias
+            qualified).
+        op: canonical operator (one of IPP_OPS | RANGE_OPS | RESIDUAL_OPS).
+        expr: the original AST node, kept for selectivity estimation.
+    """
+
+    column: ast.ColumnRef
+    op: str
+    expr: ast.Expr
+
+    @property
+    def is_ipp(self) -> bool:
+        """True if this predicate is an index prefix predicate."""
+        return self.op in IPP_OPS
+
+    @property
+    def is_range(self) -> bool:
+        """True if this predicate bounds an index range scan."""
+        return self.op in RANGE_OPS
+
+    @property
+    def is_sargable(self) -> bool:
+        """True if an index on :attr:`column` can serve this predicate."""
+        return self.op in IPP_OPS or self.op in RANGE_OPS
+
+
+def split_conjuncts(expr: Optional[ast.Expr]) -> list[ast.Expr]:
+    """Flatten nested ANDs into a list of conjuncts (empty for None)."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.And):
+        out: list[ast.Expr] = []
+        for item in expr.items:
+            out.extend(split_conjuncts(item))
+        return out
+    return [expr]
+
+
+def split_disjuncts(expr: Optional[ast.Expr]) -> list[ast.Expr]:
+    """Flatten nested ORs into a list of disjuncts (empty for None)."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Or):
+        out: list[ast.Expr] = []
+        for item in expr.items:
+            out.extend(split_disjuncts(item))
+        return out
+    return [expr]
+
+
+def to_dnf(expr: Optional[ast.Expr], max_terms: int = 64) -> list[list[ast.Expr]]:
+    """Convert a predicate tree to disjunctive normal form.
+
+    Returns a list of factors; each factor is a list of leaf expressions
+    whose conjunction forms one disjunct.  ``NOT`` applied to a non-leaf is
+    treated as an opaque leaf (negation is not distributed -- negated
+    predicates never produce index candidates anyway).
+
+    If distribution would exceed *max_terms* disjuncts, the expression is
+    truncated to its first *max_terms* factors; real optimizers apply the
+    same kind of cap to avoid DNF blowup.
+    """
+    if expr is None:
+        return []
+    factors = _dnf(expr)
+    return factors[:max_terms]
+
+
+def _dnf(expr: ast.Expr) -> list[list[ast.Expr]]:
+    if isinstance(expr, ast.Or):
+        out: list[list[ast.Expr]] = []
+        for item in expr.items:
+            out.extend(_dnf(item))
+        return out
+    if isinstance(expr, ast.And):
+        product: list[list[ast.Expr]] = [[]]
+        for item in expr.items:
+            branches = _dnf(item)
+            product = [existing + branch for existing in product for branch in branches]
+        return product
+    return [[expr]]
+
+
+def classify_atomic(expr: ast.Expr) -> Optional[AtomicPredicate]:
+    """Classify *expr* as a single-column atomic predicate, if it is one.
+
+    A predicate qualifies when exactly one side references exactly one
+    column and the other side is constant (literal, parameter or arithmetic
+    over constants).  Returns None for join predicates, multi-column
+    expressions and unsupported forms.
+    """
+    if isinstance(expr, ast.Comparison):
+        left_col = _single_column(expr.left)
+        right_col = _single_column(expr.right)
+        if left_col is not None and right_col is None and _is_constant(expr.right):
+            return AtomicPredicate(left_col, expr.op, expr)
+        if right_col is not None and left_col is None and _is_constant(expr.left):
+            return AtomicPredicate(right_col, _flip(expr.op), expr)
+        return None
+    if isinstance(expr, ast.InList):
+        col = _single_column(expr.expr)
+        if col is None or not all(_is_constant(i) for i in expr.items):
+            return None
+        op = "NOT IN" if expr.negated else "IN"
+        return AtomicPredicate(col, op, expr)
+    if isinstance(expr, ast.Between):
+        col = _single_column(expr.expr)
+        if col is None or not (_is_constant(expr.low) and _is_constant(expr.high)):
+            return None
+        op = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return AtomicPredicate(col, op, expr)
+    if isinstance(expr, ast.IsNull):
+        col = _single_column(expr.expr)
+        if col is None:
+            return None
+        op = "IS NOT NULL" if expr.negated else "IS NULL"
+        return AtomicPredicate(col, op, expr)
+    if isinstance(expr, ast.Not):
+        inner = classify_atomic(expr.item)
+        if inner is not None and inner.op == "LIKE":
+            return AtomicPredicate(inner.column, "NOT LIKE", expr)
+        return None
+    return None
+
+
+def join_predicate(expr: ast.Expr) -> Optional[tuple[ast.ColumnRef, ast.ColumnRef]]:
+    """Detect an equi-join predicate ``a.x = b.y`` between table instances.
+
+    Returns the two column references when *expr* is an equality between
+    two bare columns with different table bindings, else None.
+    """
+    if not isinstance(expr, ast.Comparison) or expr.op not in ("=", "<=>"):
+        return None
+    if not isinstance(expr.left, ast.ColumnRef) or not isinstance(expr.right, ast.ColumnRef):
+        return None
+    left, right = expr.left, expr.right
+    if left.table is not None and left.table == right.table:
+        return None
+    return left, right
+
+
+def _single_column(expr: ast.Expr) -> Optional[ast.ColumnRef]:
+    """Return the column if *expr* is exactly one bare column reference."""
+    if isinstance(expr, ast.ColumnRef):
+        return expr
+    return None
+
+
+def _is_constant(expr: ast.Expr) -> bool:
+    """True if *expr* evaluates to a constant (no column references)."""
+    return not any(isinstance(node, ast.ColumnRef) for node in ast.iter_exprs(expr))
+
+
+def _flip(op: str) -> str:
+    """Mirror a comparison operator for swapped operands."""
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+
+
+def like_has_constant_prefix(pattern: object) -> bool:
+    """True if a LIKE pattern starts with a non-wildcard prefix.
+
+    Only prefix patterns can bound an index range scan; ``'%x'`` cannot.
+    """
+    if not isinstance(pattern, str) or not pattern:
+        return False
+    return pattern[0] not in ("%", "_")

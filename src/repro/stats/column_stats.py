@@ -1,0 +1,96 @@
+"""Per-column data distribution statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .histogram import Histogram
+
+#: Default equality selectivity when nothing is known (matches PostgreSQL).
+DEFAULT_EQ_SELECTIVITY = 0.005
+#: Default range selectivity when nothing is known.
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Distribution statistics for one column.
+
+    Attributes:
+        ndv: number of distinct non-null values (>= 1).
+        null_frac: fraction of NULLs in [0, 1].
+        histogram: value sample for range estimation (may be empty).
+    """
+
+    ndv: int = 1
+    null_frac: float = 0.0
+    histogram: Histogram = Histogram()
+
+    def __post_init__(self) -> None:
+        if self.ndv < 1:
+            object.__setattr__(self, "ndv", 1)
+
+    # -- selectivity primitives ---------------------------------------------
+    #
+    # All estimates are for *one* atomic predicate on this column, expressed
+    # as a fraction of the table's rows.  A value of None means the concrete
+    # constant is unknown (normalized query with `?` parameters): we then
+    # fall back to uniform-distribution estimates, exactly what a DBMS does
+    # when optimizing a prepared statement without parameter peeking.
+
+    def eq_selectivity(self, value=None) -> float:
+        """Selectivity of ``col = value``."""
+        non_null = 1.0 - self.null_frac
+        if value is not None and not self.histogram.empty:
+            frac = self.histogram.fraction_equal(value)
+            if frac > 0.0:
+                return min(1.0, frac * non_null)
+        return min(1.0, non_null / self.ndv)
+
+    def range_selectivity(self, op: str, value=None) -> float:
+        """Selectivity of a one-sided range ``col <op> value``."""
+        non_null = 1.0 - self.null_frac
+        if value is None or self.histogram.empty:
+            return DEFAULT_RANGE_SELECTIVITY * non_null
+        if op == "<":
+            frac = self.histogram.fraction_below(value, inclusive=False)
+        elif op == "<=":
+            frac = self.histogram.fraction_below(value, inclusive=True)
+        elif op == ">":
+            frac = 1.0 - self.histogram.fraction_below(value, inclusive=True)
+        elif op == ">=":
+            frac = 1.0 - self.histogram.fraction_below(value, inclusive=False)
+        else:
+            return DEFAULT_RANGE_SELECTIVITY * non_null
+        return _clamp(frac * non_null)
+
+    def between_selectivity(self, low=None, high=None) -> float:
+        """Selectivity of ``col BETWEEN low AND high``."""
+        non_null = 1.0 - self.null_frac
+        if (low is None and high is None) or self.histogram.empty:
+            return DEFAULT_RANGE_SELECTIVITY * 0.5 * non_null
+        frac = self.histogram.fraction_between(low, high)
+        return _clamp(frac * non_null)
+
+    def in_selectivity(self, n_items: int, values=None) -> float:
+        """Selectivity of ``col IN (v1 .. vn)``."""
+        if values:
+            total = sum(self.eq_selectivity(v) for v in values)
+            return _clamp(total)
+        return _clamp(n_items * self.eq_selectivity())
+
+    def is_null_selectivity(self, negated: bool = False) -> float:
+        """Selectivity of ``col IS [NOT] NULL``."""
+        return _clamp(1.0 - self.null_frac if negated else self.null_frac)
+
+    def like_selectivity(self, pattern=None) -> float:
+        """Selectivity of ``col LIKE pattern`` (prefix patterns only bound)."""
+        if isinstance(pattern, str) and pattern and pattern[0] not in "%_":
+            prefix_len = len(pattern.split("%")[0].split("_")[0])
+            # Longer constant prefixes select fewer rows.
+            return _clamp(0.25 ** min(prefix_len, 4))
+        return 0.25
+
+
+def _clamp(x: float) -> float:
+    return min(1.0, max(0.0, x))

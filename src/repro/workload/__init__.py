@@ -1,0 +1,23 @@
+"""Workload representation and monitoring."""
+
+from .monitor import MonitoredExecutor, WorkloadMonitor
+from .query import QueryStatistics, WorkloadQuery
+from .selection import (
+    DEFAULT_BENEFIT_THRESHOLD,
+    SelectionPolicy,
+    select_representative_workload,
+    tuning_targets,
+)
+from .workload import Workload
+
+__all__ = [
+    "Workload",
+    "WorkloadQuery",
+    "QueryStatistics",
+    "WorkloadMonitor",
+    "MonitoredExecutor",
+    "SelectionPolicy",
+    "select_representative_workload",
+    "tuning_targets",
+    "DEFAULT_BENEFIT_THRESHOLD",
+]

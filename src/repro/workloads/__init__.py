@@ -1,0 +1,5 @@
+"""Benchmark workloads: TPC-H, JOB, synthetic production products, OLTP."""
+
+from .oltp import WorkloadSampler, workload_shift
+
+__all__ = ["WorkloadSampler", "workload_shift"]

@@ -1,0 +1,18 @@
+"""JOB (Join Order Benchmark) over the IMDB schema."""
+
+from ...workload import Workload
+from .queries import TEMPLATES
+from .schema import ROW_COUNTS, job_database, job_tables
+
+
+def job_workload() -> Workload:
+    """The JOB workload: one representative query per covered family."""
+    workload = Workload.from_sql(
+        [(template(), 1.0) for template in TEMPLATES.values()], name="job"
+    )
+    for query, family in zip(workload.queries, TEMPLATES):
+        query.name = family
+    return workload
+
+
+__all__ = ["job_database", "job_tables", "job_workload", "ROW_COUNTS", "TEMPLATES"]

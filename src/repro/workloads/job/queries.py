@@ -1,0 +1,368 @@
+"""JOB query templates.
+
+One representative template per JOB family (the benchmark ships 113
+variants over 33 families; variants within a family share structure and
+differ only in constants).  Join graphs, filter placement and MIN()
+projections follow the originals; string constants use the benchmark's
+values.  Families relying on unsupported constructs substitute the
+nearest structural equivalent (noted inline).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def q1a() -> str:
+    return (
+        "SELECT MIN(mc.note), MIN(t.title), MIN(t.production_year) "
+        "FROM company_type ct, info_type it, movie_companies mc, "
+        "movie_info_idx mi_idx, title t "
+        "WHERE ct.kind = 'production companies' "
+        "AND it.info = 'top 250 rank' "
+        "AND mc.note NOT LIKE '%(as Metro-Goldwyn-Mayer Pictures)%' "
+        "AND ct.id = mc.company_type_id AND t.id = mc.movie_id "
+        "AND t.id = mi_idx.movie_id AND mi_idx.info_type_id = it.id"
+    )
+
+
+def q2a() -> str:
+    return (
+        "SELECT MIN(t.title) "
+        "FROM company_name cn, keyword k, movie_companies mc, "
+        "movie_keyword mk, title t "
+        "WHERE cn.country_code = '[de]' AND k.keyword = 'character-name-in-title' "
+        "AND cn.id = mc.company_id AND mc.movie_id = t.id "
+        "AND t.id = mk.movie_id AND mk.keyword_id = k.id"
+    )
+
+
+def q3b() -> str:
+    return (
+        "SELECT MIN(t.title) "
+        "FROM keyword k, movie_info mi, movie_keyword mk, title t "
+        "WHERE k.keyword LIKE '%sequel%' AND mi.info IN ('Bulgaria') "
+        "AND t.production_year > 2010 AND t.id = mi.movie_id "
+        "AND t.id = mk.movie_id AND mk.keyword_id = k.id"
+    )
+
+
+def q4a() -> str:
+    return (
+        "SELECT MIN(mi_idx.info), MIN(t.title) "
+        "FROM info_type it, keyword k, movie_info_idx mi_idx, "
+        "movie_keyword mk, title t "
+        "WHERE it.info = 'rating' AND k.keyword LIKE '%sequel%' "
+        "AND mi_idx.info > '5.0' AND t.production_year > 2005 "
+        "AND t.id = mi_idx.movie_id AND t.id = mk.movie_id "
+        "AND mk.keyword_id = k.id AND it.id = mi_idx.info_type_id"
+    )
+
+
+def q5c() -> str:
+    return (
+        "SELECT MIN(t.title) "
+        "FROM company_type ct, info_type it, movie_companies mc, "
+        "movie_info mi, title t "
+        "WHERE ct.kind = 'production companies' "
+        "AND mc.note NOT LIKE '%(TV)%' AND mc.note LIKE '%(USA)%' "
+        "AND mi.info IN ('Sweden', 'Norway', 'Germany', 'Denmark', "
+        "'Swedish', 'Denish', 'Norwegian', 'German', 'USA', 'American') "
+        "AND t.production_year > 1990 AND t.id = mi.movie_id "
+        "AND t.id = mc.movie_id AND mc.company_type_id = ct.id "
+        "AND mi.info_type_id = it.id"
+    )
+
+
+def q6b() -> str:
+    return (
+        "SELECT MIN(k.keyword), MIN(n.name), MIN(t.title) "
+        "FROM cast_info ci, keyword k, movie_keyword mk, name n, title t "
+        "WHERE k.keyword IN ('superhero', 'sequel', 'second-part', "
+        "'marvel-comics', 'based-on-comic', 'fight') "
+        "AND n.name LIKE '%Downey%Robert%' AND t.production_year > 2014 "
+        "AND k.id = mk.keyword_id AND t.id = mk.movie_id "
+        "AND t.id = ci.movie_id AND ci.person_id = n.id"
+    )
+
+
+def q8c() -> str:
+    return (
+        "SELECT MIN(an.name), MIN(t.title) "
+        "FROM aka_name an, cast_info ci, company_name cn, "
+        "movie_companies mc, name n, role_type rt, title t "
+        "WHERE cn.country_code = '[us]' AND rt.role = 'writer' "
+        "AND an.person_id = n.id AND n.id = ci.person_id "
+        "AND ci.movie_id = t.id AND t.id = mc.movie_id "
+        "AND mc.company_id = cn.id AND ci.role_id = rt.id"
+    )
+
+
+def q10a() -> str:
+    return (
+        "SELECT MIN(chn.name), MIN(t.title) "
+        "FROM char_name chn, cast_info ci, company_name cn, "
+        "company_type ct, movie_companies mc, role_type rt, title t "
+        "WHERE ci.note LIKE '%(voice)%' AND ci.note LIKE '%(uncredited)%' "
+        "AND cn.country_code = '[ru]' AND rt.role = 'actor' "
+        "AND t.production_year BETWEEN 2005 AND 2015 "
+        "AND t.id = mc.movie_id AND t.id = ci.movie_id "
+        "AND ci.person_role_id = chn.id AND ci.role_id = rt.id "
+        "AND mc.company_id = cn.id AND mc.company_type_id = ct.id"
+    )
+
+
+def q11b() -> str:
+    return (
+        "SELECT MIN(cn.name), MIN(lt.link), MIN(t.title) "
+        "FROM company_name cn, company_type ct, keyword k, link_type lt, "
+        "movie_companies mc, movie_keyword mk, movie_link ml, title t "
+        "WHERE cn.country_code != '[pl]' AND cn.name LIKE '20th Century Fox%' "
+        "AND ct.kind != 'production companies' AND k.keyword = 'sequel' "
+        "AND lt.link LIKE '%follows%' AND t.production_year = 1998 "
+        "AND lt.id = ml.link_type_id AND ml.movie_id = t.id "
+        "AND t.id = mk.movie_id AND mk.keyword_id = k.id "
+        "AND t.id = mc.movie_id AND mc.company_type_id = ct.id "
+        "AND mc.company_id = cn.id"
+    )
+
+
+def q13a() -> str:
+    return (
+        "SELECT MIN(mi.info), MIN(mi_idx.info), MIN(t.title) "
+        "FROM company_name cn, company_type ct, info_type it, "
+        "info_type it2, kind_type kt, movie_companies mc, movie_info mi, "
+        "movie_info_idx mi_idx, title t "
+        "WHERE cn.country_code = '[de]' AND ct.kind = 'production companies' "
+        "AND it.info = 'rating' AND it2.info = 'release dates' "
+        "AND kt.kind = 'movie' "
+        "AND mi.movie_id = t.id AND it2.id = mi.info_type_id "
+        "AND kt.id = t.kind_id AND mc.movie_id = t.id "
+        "AND cn.id = mc.company_id AND ct.id = mc.company_type_id "
+        "AND mi_idx.movie_id = t.id AND it.id = mi_idx.info_type_id"
+    )
+
+
+def q14a() -> str:
+    return (
+        "SELECT MIN(mi_idx.info), MIN(t.title) "
+        "FROM info_type it, info_type it2, keyword k, kind_type kt, "
+        "movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t "
+        "WHERE it.info = 'countries' AND it2.info = 'rating' "
+        "AND k.keyword IN ('murder', 'murder-in-title', 'blood', 'violence') "
+        "AND kt.kind = 'movie' AND mi.info IN ('Sweden', 'Norway', "
+        "'Germany', 'Denmark', 'Swedish', 'Denish', 'Norwegian', 'German', 'USA', 'American') "
+        "AND mi_idx.info < '8.5' AND t.production_year > 2010 "
+        "AND kt.id = t.kind_id AND t.id = mi.movie_id "
+        "AND t.id = mk.movie_id AND t.id = mi_idx.movie_id "
+        "AND mk.keyword_id = k.id AND it.id = mi.info_type_id "
+        "AND it2.id = mi_idx.info_type_id"
+    )
+
+
+def q16b() -> str:
+    return (
+        "SELECT MIN(an.name), MIN(t.title) "
+        "FROM aka_name an, cast_info ci, company_name cn, keyword k, "
+        "movie_companies mc, movie_keyword mk, name n, title t "
+        "WHERE cn.country_code = '[us]' "
+        "AND k.keyword = 'character-name-in-title' "
+        "AND an.person_id = n.id AND n.id = ci.person_id "
+        "AND ci.movie_id = t.id AND t.id = mk.movie_id "
+        "AND mk.keyword_id = k.id AND t.id = mc.movie_id "
+        "AND mc.company_id = cn.id"
+    )
+
+
+def q17a() -> str:
+    return (
+        "SELECT MIN(n.name) "
+        "FROM cast_info ci, company_name cn, keyword k, "
+        "movie_companies mc, movie_keyword mk, name n, title t "
+        "WHERE cn.country_code = '[us]' "
+        "AND k.keyword = 'character-name-in-title' AND n.name LIKE 'B%' "
+        "AND n.id = ci.person_id AND ci.movie_id = t.id "
+        "AND t.id = mk.movie_id AND mk.keyword_id = k.id "
+        "AND t.id = mc.movie_id AND mc.company_id = cn.id"
+    )
+
+
+def q19d() -> str:
+    return (
+        "SELECT MIN(n.name), MIN(t.title) "
+        "FROM aka_name an, char_name chn, cast_info ci, company_name cn, "
+        "info_type it, movie_companies mc, movie_info mi, name n, "
+        "role_type rt, title t "
+        "WHERE ci.note = '(voice)' AND cn.country_code = '[us]' "
+        "AND it.info = 'release dates' AND n.gender = 'f' "
+        "AND rt.role = 'actress' AND t.production_year > 2000 "
+        "AND t.id = mi.movie_id AND t.id = mc.movie_id "
+        "AND t.id = ci.movie_id AND mc.company_id = cn.id "
+        "AND mi.info_type_id = it.id AND n.id = ci.person_id "
+        "AND ci.role_id = rt.id AND an.person_id = n.id "
+        "AND ci.person_role_id = chn.id"
+    )
+
+
+def q20a() -> str:
+    return (
+        "SELECT MIN(t.title) "
+        "FROM complete_cast cc, comp_cast_type cct1, comp_cast_type cct2, "
+        "char_name chn, cast_info ci, keyword k, kind_type kt, "
+        "movie_keyword mk, name n, title t "
+        "WHERE cct1.kind = 'cast' AND cct2.kind LIKE '%complete%' "
+        "AND chn.name NOT LIKE '%Sherlock%' "
+        "AND k.keyword IN ('superhero', 'sequel', 'second-part', "
+        "'marvel-comics', 'based-on-comic', 'fight') "
+        "AND kt.kind = 'movie' AND t.production_year > 1950 "
+        "AND kt.id = t.kind_id AND t.id = mk.movie_id "
+        "AND t.id = ci.movie_id AND t.id = cc.movie_id "
+        "AND mk.keyword_id = k.id AND ci.person_role_id = chn.id "
+        "AND ci.person_id = n.id AND cc.subject_id = cct1.id "
+        "AND cc.status_id = cct2.id"
+    )
+
+
+def q22c() -> str:
+    return (
+        "SELECT MIN(cn.name), MIN(mi_idx.info), MIN(t.title) "
+        "FROM company_name cn, company_type ct, info_type it, "
+        "info_type it2, keyword k, kind_type kt, movie_companies mc, "
+        "movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t "
+        "WHERE cn.country_code != '[us]' AND it.info = 'countries' "
+        "AND it2.info = 'rating' "
+        "AND k.keyword IN ('murder', 'murder-in-title', 'blood', 'violence') "
+        "AND kt.kind IN ('movie', 'episode') "
+        "AND mc.note NOT LIKE '%(USA)%' AND mc.note LIKE '%(200%)%' "
+        "AND mi.info IN ('Germany', 'German', 'USA', 'American') "
+        "AND mi_idx.info < '7.0' AND t.production_year > 2008 "
+        "AND kt.id = t.kind_id AND t.id = mi.movie_id "
+        "AND t.id = mk.movie_id AND t.id = mi_idx.movie_id "
+        "AND t.id = mc.movie_id AND mk.keyword_id = k.id "
+        "AND it.id = mi.info_type_id AND it2.id = mi_idx.info_type_id "
+        "AND ct.id = mc.company_type_id AND cn.id = mc.company_id"
+    )
+
+
+def q25a() -> str:
+    return (
+        "SELECT MIN(mi.info), MIN(n.name), MIN(t.title) "
+        "FROM cast_info ci, info_type it1, info_type it2, keyword k, "
+        "movie_info mi, movie_info_idx mi_idx, movie_keyword mk, "
+        "name n, title t "
+        "WHERE ci.note = '(writer)' AND it1.info = 'genres' "
+        "AND it2.info = 'votes' AND k.keyword IN ('murder', "
+        "'blood', 'gore', 'death', 'female-nudity') "
+        "AND mi.info = 'Horror' AND n.gender = 'm' "
+        "AND t.id = mi.movie_id AND t.id = mi_idx.movie_id "
+        "AND t.id = ci.movie_id AND t.id = mk.movie_id "
+        "AND ci.person_id = n.id AND mi.info_type_id = it1.id "
+        "AND mi_idx.info_type_id = it2.id AND mk.keyword_id = k.id"
+    )
+
+
+def q26b() -> str:
+    return (
+        "SELECT MIN(chn.name), MIN(mi_idx.info) "
+        "FROM complete_cast cc, comp_cast_type cct1, comp_cast_type cct2, "
+        "char_name chn, cast_info ci, info_type it2, keyword k, "
+        "kind_type kt, movie_info_idx mi_idx, movie_keyword mk, title t "
+        "WHERE cct1.kind = 'cast' AND cct2.kind LIKE '%complete%' "
+        "AND chn.name LIKE '%man%' AND it2.info = 'rating' "
+        "AND k.keyword IN ('superhero', 'marvel-comics', "
+        "'based-on-comic', 'fight') AND kt.kind = 'movie' "
+        "AND mi_idx.info > '8.0' AND t.production_year > 2005 "
+        "AND kt.id = t.kind_id AND t.id = mk.movie_id "
+        "AND t.id = ci.movie_id AND t.id = cc.movie_id "
+        "AND mk.keyword_id = k.id AND ci.person_role_id = chn.id "
+        "AND mi_idx.movie_id = t.id AND it2.id = mi_idx.info_type_id "
+        "AND cc.subject_id = cct1.id AND cc.status_id = cct2.id"
+    )
+
+
+def q28c() -> str:
+    return (
+        "SELECT MIN(cn.name), MIN(mi_idx.info), MIN(t.title) "
+        "FROM complete_cast cc, comp_cast_type cct1, company_name cn, "
+        "company_type ct, info_type it1, info_type it2, keyword k, "
+        "kind_type kt, movie_companies mc, movie_info mi, "
+        "movie_info_idx mi_idx, movie_keyword mk, title t "
+        "WHERE cct1.kind = 'complete' AND cn.country_code != '[us]' "
+        "AND it1.info = 'countries' AND it2.info = 'rating' "
+        "AND k.keyword IN ('murder', 'murder-in-title', 'blood', 'violence') "
+        "AND kt.kind IN ('movie', 'episode') "
+        "AND mc.note NOT LIKE '%(USA)%' AND mc.note LIKE '%(200%)%' "
+        "AND mi.info IN ('Sweden', 'Germany', 'Swedish', 'German') "
+        "AND mi_idx.info > '6.5' AND t.production_year > 2005 "
+        "AND kt.id = t.kind_id AND t.id = mi.movie_id "
+        "AND t.id = mk.movie_id AND t.id = mi_idx.movie_id "
+        "AND t.id = mc.movie_id AND t.id = cc.movie_id "
+        "AND mk.keyword_id = k.id AND it1.id = mi.info_type_id "
+        "AND it2.id = mi_idx.info_type_id AND ct.id = mc.company_type_id "
+        "AND cn.id = mc.company_id AND cct1.id = cc.status_id"
+    )
+
+
+def q30a() -> str:
+    return (
+        "SELECT MIN(mi.info), MIN(n.name), MIN(t.title) "
+        "FROM complete_cast cc, comp_cast_type cct1, comp_cast_type cct2, "
+        "cast_info ci, info_type it1, info_type it2, keyword k, "
+        "movie_info mi, movie_info_idx mi_idx, movie_keyword mk, "
+        "name n, title t "
+        "WHERE cct1.kind IN ('cast', 'crew') AND cct2.kind = 'complete+verified' "
+        "AND ci.note = '(writer)' AND it1.info = 'genres' "
+        "AND it2.info = 'votes' AND k.keyword IN ('murder', "
+        "'violence', 'blood', 'gore', 'death', 'female-nudity') "
+        "AND mi.info = 'Horror' AND n.gender = 'm' "
+        "AND t.id = mi.movie_id AND t.id = mi_idx.movie_id "
+        "AND t.id = ci.movie_id AND t.id = mk.movie_id "
+        "AND t.id = cc.movie_id AND ci.person_id = n.id "
+        "AND mi.info_type_id = it1.id AND mi_idx.info_type_id = it2.id "
+        "AND mk.keyword_id = k.id AND cct1.id = cc.subject_id "
+        "AND cct2.id = cc.status_id"
+    )
+
+
+def q32b() -> str:
+    return (
+        "SELECT MIN(lt.link), MIN(t1.title), MIN(t2.title) "
+        "FROM keyword k, link_type lt, movie_keyword mk, movie_link ml, "
+        "title t1, title t2 "
+        "WHERE k.keyword = 'character-name-in-title' "
+        "AND mk.keyword_id = k.id AND t1.id = mk.movie_id "
+        "AND ml.movie_id = t1.id AND ml.linked_movie_id = t2.id "
+        "AND lt.id = ml.link_type_id"
+    )
+
+
+def q33c() -> str:
+    return (
+        "SELECT MIN(cn1.name), MIN(mi_idx2.info), MIN(t2.title) "
+        "FROM company_name cn1, company_name cn2, info_type it2, "
+        "kind_type kt1, kind_type kt2, link_type lt, movie_companies mc1, "
+        "movie_companies mc2, movie_info_idx mi_idx2, movie_link ml, "
+        "title t1, title t2 "
+        "WHERE cn1.country_code != '[us]' AND it2.info = 'rating' "
+        "AND kt1.kind IN ('tv series', 'episode') "
+        "AND kt2.kind IN ('tv series', 'episode') "
+        "AND lt.link IN ('sequel', 'follows', 'followed by') "
+        "AND mi_idx2.info < '3.5' "
+        "AND t2.production_year BETWEEN 2000 AND 2010 "
+        "AND lt.id = ml.link_type_id AND t1.id = ml.movie_id "
+        "AND t2.id = ml.linked_movie_id AND it2.id = mi_idx2.info_type_id "
+        "AND t2.id = mi_idx2.movie_id AND kt1.id = t1.kind_id "
+        "AND kt2.id = t2.kind_id AND cn1.id = mc1.company_id "
+        "AND t1.id = mc1.movie_id AND cn2.id = mc2.company_id "
+        "AND t2.id = mc2.movie_id"
+    )
+
+
+#: One representative template per covered JOB family.
+TEMPLATES: dict[str, Callable[[], str]] = {
+    "1a": q1a, "2a": q2a, "3b": q3b, "4a": q4a, "5c": q5c, "6b": q6b,
+    "8c": q8c, "10a": q10a, "11b": q11b, "13a": q13a, "14a": q14a,
+    "16b": q16b, "17a": q17a, "19d": q19d, "20a": q20a, "22c": q22c,
+    "25a": q25a, "26b": q26b, "28c": q28c, "30a": q30a, "32b": q32b,
+    "33c": q33c,
+}

@@ -1,0 +1,263 @@
+"""JOB (Join Order Benchmark) schema over the IMDB dataset.
+
+Stats-only: table cardinalities and column NDVs follow the real IMDB
+snapshot used by the benchmark (Leis et al., "How Good Are Query
+Optimizers, Really?").  The evaluation never materializes rows -- exactly
+like the paper's PostgreSQL+HypoPG setup for JOB (Fig 4c/d).
+"""
+
+from __future__ import annotations
+
+from ...catalog import Column, Table, varchar, INT
+from ...engine import Database, INNODB, CostParams
+from ...stats import SyntheticColumn, synthesize_table
+
+#: Real IMDB table cardinalities (JOB snapshot, May 2013).
+ROW_COUNTS = {
+    "aka_name": 901_343,
+    "aka_title": 361_472,
+    "cast_info": 36_244_344,
+    "char_name": 3_140_339,
+    "comp_cast_type": 4,
+    "company_name": 234_997,
+    "company_type": 4,
+    "complete_cast": 135_086,
+    "info_type": 113,
+    "keyword": 134_170,
+    "kind_type": 7,
+    "link_type": 18,
+    "movie_companies": 2_609_129,
+    "movie_info": 14_835_720,
+    "movie_info_idx": 1_380_035,
+    "movie_keyword": 4_523_930,
+    "movie_link": 29_997,
+    "name": 4_167_491,
+    "person_info": 2_963_664,
+    "role_type": 12,
+    "title": 2_528_312,
+}
+
+
+def _table(name: str, columns: list[Column]) -> Table:
+    return Table(name, columns, ("id",))
+
+
+def job_tables() -> list[Table]:
+    """The 21 IMDB tables (columns trimmed to those JOB touches)."""
+    return [
+        _table("title", [
+            Column("id", INT), Column("title", varchar(60)),
+            Column("imdb_index", varchar(4), nullable=True),
+            Column("kind_id", INT),
+            Column("production_year", INT, nullable=True),
+            Column("phonetic_code", varchar(5), nullable=True),
+            Column("episode_of_id", INT, nullable=True),
+            Column("season_nr", INT, nullable=True),
+            Column("episode_nr", INT, nullable=True),
+        ]),
+        _table("movie_companies", [
+            Column("id", INT), Column("movie_id", INT),
+            Column("company_id", INT), Column("company_type_id", INT),
+            Column("note", varchar(40), nullable=True),
+        ]),
+        _table("company_name", [
+            Column("id", INT), Column("name", varchar(40)),
+            Column("country_code", varchar(8), nullable=True),
+            Column("name_pcode_nf", varchar(5), nullable=True),
+        ]),
+        _table("company_type", [
+            Column("id", INT), Column("kind", varchar(24)),
+        ]),
+        _table("cast_info", [
+            Column("id", INT), Column("person_id", INT),
+            Column("movie_id", INT),
+            Column("person_role_id", INT, nullable=True),
+            Column("note", varchar(20), nullable=True),
+            Column("nr_order", INT, nullable=True),
+            Column("role_id", INT),
+        ]),
+        _table("name", [
+            Column("id", INT), Column("name", varchar(30)),
+            Column("imdb_index", varchar(4), nullable=True),
+            Column("gender", varchar(1), nullable=True),
+            Column("name_pcode_cf", varchar(5), nullable=True),
+        ]),
+        _table("char_name", [
+            Column("id", INT), Column("name", varchar(40)),
+        ]),
+        _table("role_type", [
+            Column("id", INT), Column("role", varchar(16)),
+        ]),
+        _table("movie_info", [
+            Column("id", INT), Column("movie_id", INT),
+            Column("info_type_id", INT), Column("info", varchar(30)),
+            Column("note", varchar(20), nullable=True),
+        ]),
+        _table("movie_info_idx", [
+            Column("id", INT), Column("movie_id", INT),
+            Column("info_type_id", INT), Column("info", varchar(10)),
+        ]),
+        _table("info_type", [
+            Column("id", INT), Column("info", varchar(24)),
+        ]),
+        _table("movie_keyword", [
+            Column("id", INT), Column("movie_id", INT),
+            Column("keyword_id", INT),
+        ]),
+        _table("keyword", [
+            Column("id", INT), Column("keyword", varchar(20)),
+            Column("phonetic_code", varchar(5), nullable=True),
+        ]),
+        _table("kind_type", [
+            Column("id", INT), Column("kind", varchar(12)),
+        ]),
+        _table("aka_name", [
+            Column("id", INT), Column("person_id", INT),
+            Column("name", varchar(30)),
+        ]),
+        _table("aka_title", [
+            Column("id", INT), Column("movie_id", INT),
+            Column("title", varchar(60)),
+        ]),
+        _table("person_info", [
+            Column("id", INT), Column("person_id", INT),
+            Column("info_type_id", INT), Column("info", varchar(60)),
+            Column("note", varchar(20), nullable=True),
+        ]),
+        _table("movie_link", [
+            Column("id", INT), Column("movie_id", INT),
+            Column("linked_movie_id", INT), Column("link_type_id", INT),
+        ]),
+        _table("link_type", [
+            Column("id", INT), Column("link", varchar(16)),
+        ]),
+        _table("complete_cast", [
+            Column("id", INT), Column("movie_id", INT),
+            Column("subject_id", INT), Column("status_id", INT),
+        ]),
+        _table("comp_cast_type", [
+            Column("id", INT), Column("kind", varchar(16)),
+        ]),
+    ]
+
+
+def _specs() -> dict[str, dict[str, SyntheticColumn]]:
+    u = SyntheticColumn
+    n = ROW_COUNTS
+    movies = n["title"]
+    persons = n["name"]
+    return {
+        "title": {
+            "id": u(ndv=-1, lo=1, hi=movies),
+            "title": u(ndv=int(movies * 0.95)),
+            "imdb_index": u(ndv=40, null_frac=0.97),
+            "kind_id": u(ndv=7, lo=1, hi=7),
+            "production_year": u(ndv=133, lo=1880, hi=2013, null_frac=0.27),
+            "phonetic_code": u(ndv=20_000, null_frac=0.1),
+            "episode_of_id": u(ndv=60_000, lo=1, hi=movies, null_frac=0.75),
+            "season_nr": u(ndv=60, lo=1, hi=60, null_frac=0.75),
+            "episode_nr": u(ndv=500, lo=1, hi=3000, null_frac=0.75),
+        },
+        "movie_companies": {
+            "id": u(ndv=-1, lo=1, hi=n["movie_companies"]),
+            "movie_id": u(ndv=1_087_236, lo=1, hi=movies),
+            "company_id": u(ndv=n["company_name"], lo=1, hi=n["company_name"]),
+            "company_type_id": u(ndv=2, lo=1, hi=2),
+            "note": u(ndv=700_000, null_frac=0.65),
+        },
+        "company_name": {
+            "id": u(ndv=-1, lo=1, hi=n["company_name"]),
+            "name": u(ndv=230_000),
+            "country_code": u(ndv=233, null_frac=0.35),
+            "name_pcode_nf": u(ndv=80_000, null_frac=0.1),
+        },
+        "company_type": {"id": u(ndv=-1, lo=1, hi=4), "kind": u(ndv=4)},
+        "cast_info": {
+            "id": u(ndv=-1, lo=1, hi=n["cast_info"]),
+            "person_id": u(ndv=persons, lo=1, hi=persons),
+            "movie_id": u(ndv=2_331_601, lo=1, hi=movies),
+            "person_role_id": u(ndv=n["char_name"], lo=1, hi=n["char_name"],
+                                null_frac=0.6),
+            "note": u(ndv=800_000, null_frac=0.7),
+            "nr_order": u(ndv=1000, lo=1, hi=1000, null_frac=0.6),
+            "role_id": u(ndv=11, lo=1, hi=11),
+        },
+        "name": {
+            "id": u(ndv=-1, lo=1, hi=persons),
+            "name": u(ndv=int(persons * 0.98)),
+            "imdb_index": u(ndv=40, null_frac=0.97),
+            "gender": u(ndv=2, null_frac=0.2),
+            "name_pcode_cf": u(ndv=130_000, null_frac=0.05),
+        },
+        "char_name": {
+            "id": u(ndv=-1, lo=1, hi=n["char_name"]),
+            "name": u(ndv=int(n["char_name"] * 0.95)),
+        },
+        "role_type": {"id": u(ndv=-1, lo=1, hi=12), "role": u(ndv=12)},
+        "movie_info": {
+            "id": u(ndv=-1, lo=1, hi=n["movie_info"]),
+            "movie_id": u(ndv=2_468_825, lo=1, hi=movies),
+            "info_type_id": u(ndv=71, lo=1, hi=110),
+            "info": u(ndv=2_720_930),
+            "note": u(ndv=1_300_000, null_frac=0.6),
+        },
+        "movie_info_idx": {
+            "id": u(ndv=-1, lo=1, hi=n["movie_info_idx"]),
+            "movie_id": u(ndv=459_925, lo=1, hi=movies),
+            "info_type_id": u(ndv=5, lo=99, hi=113),
+            "info": u(ndv=10_000),
+        },
+        "info_type": {"id": u(ndv=-1, lo=1, hi=113), "info": u(ndv=113)},
+        "movie_keyword": {
+            "id": u(ndv=-1, lo=1, hi=n["movie_keyword"]),
+            "movie_id": u(ndv=476_794, lo=1, hi=movies),
+            "keyword_id": u(ndv=n["keyword"], lo=1, hi=n["keyword"]),
+        },
+        "keyword": {
+            "id": u(ndv=-1, lo=1, hi=n["keyword"]),
+            "keyword": u(ndv=n["keyword"]),
+            "phonetic_code": u(ndv=30_000, null_frac=0.01),
+        },
+        "kind_type": {"id": u(ndv=-1, lo=1, hi=7), "kind": u(ndv=7)},
+        "aka_name": {
+            "id": u(ndv=-1, lo=1, hi=n["aka_name"]),
+            "person_id": u(ndv=588_222, lo=1, hi=persons),
+            "name": u(ndv=870_000),
+        },
+        "aka_title": {
+            "id": u(ndv=-1, lo=1, hi=n["aka_title"]),
+            "movie_id": u(ndv=229_224, lo=1, hi=movies),
+            "title": u(ndv=340_000),
+        },
+        "person_info": {
+            "id": u(ndv=-1, lo=1, hi=n["person_info"]),
+            "person_id": u(ndv=550_721, lo=1, hi=persons),
+            "info_type_id": u(ndv=22, lo=15, hi=39),
+            "info": u(ndv=2_700_000),
+            "note": u(ndv=15_000, null_frac=0.5),
+        },
+        "movie_link": {
+            "id": u(ndv=-1, lo=1, hi=n["movie_link"]),
+            "movie_id": u(ndv=6_411, lo=1, hi=movies),
+            "linked_movie_id": u(ndv=15_245, lo=1, hi=movies),
+            "link_type_id": u(ndv=16, lo=1, hi=18),
+        },
+        "link_type": {"id": u(ndv=-1, lo=1, hi=18), "link": u(ndv=18)},
+        "complete_cast": {
+            "id": u(ndv=-1, lo=1, hi=n["complete_cast"]),
+            "movie_id": u(ndv=93_514, lo=1, hi=movies),
+            "subject_id": u(ndv=2, lo=1, hi=2),
+            "status_id": u(ndv=2, lo=3, hi=4),
+        },
+        "comp_cast_type": {"id": u(ndv=-1, lo=1, hi=4), "kind": u(ndv=4)},
+    }
+
+
+def job_database(params: CostParams = INNODB, name: str = "job") -> Database:
+    """A stats-only IMDB database with JOB cardinalities."""
+    db = Database.from_tables(
+        job_tables(), params=params, with_storage=False, name=name
+    )
+    for table, spec in _specs().items():
+        db.set_stats(table, synthesize_table(ROW_COUNTS[table], spec))
+    return db

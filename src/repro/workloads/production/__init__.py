@@ -1,0 +1,24 @@
+"""Synthetic production workloads (Products A-G of Table II)."""
+
+from .dba import dba_index_set, jaccard_similarity
+from .generator import (
+    BALANCED,
+    PRODUCTS,
+    Product,
+    ProductSpec,
+    READ_HEAVY,
+    WRITE_HEAVY,
+    build_product,
+)
+
+__all__ = [
+    "PRODUCTS",
+    "Product",
+    "ProductSpec",
+    "build_product",
+    "dba_index_set",
+    "jaccard_similarity",
+    "READ_HEAVY",
+    "WRITE_HEAVY",
+    "BALANCED",
+]

@@ -1,0 +1,102 @@
+"""The "DBA" reference index sets for the Table II comparison.
+
+The paper compares AIM's indexes against those chosen by database
+administrators.  Our DBA model rests on the observation the paper itself
+makes: good DBAs apply the same first principles AIM encodes (equality
+columns first, one range column, index the join keys) -- but *one slow
+query at a time*, without AIM's workload-level machinery:
+
+* queries are visited in descending weight (the slowest dashboards get
+  attention first) and each gets the single best index for it alone,
+* no partial-order merging and no covering phase (workload-level
+  consolidation and wide covering indexes are automation-era habits),
+* FK columns are indexed by default, used or not,
+* an index is skipped only when an already-created one subsumes it
+  (same column set or a prefix); DBAs rarely drop anything.
+
+These deviations produce more, narrower indexes with substantial -- but
+not total -- overlap with AIM's picks, which is exactly the Table II
+pattern (AIM: fewer indexes, smaller total size, Jaccard 0.6-0.97).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...catalog import Index
+from ...core import CandidateGenerator, GeneratorConfig, MODE_NON_COVERING
+from ...core.ipp import RangeColumnChooser
+from ...optimizer import CostEvaluator
+from .generator import Product
+
+
+def dba_index_set(
+    product: Product,
+    budget_bytes: int,
+    fk_index_probability: float = 0.7,
+    seed: int = 1337,
+) -> list[Index]:
+    """The reference configuration a DBA team would maintain."""
+    db = product.db
+    evaluator = CostEvaluator(db, include_schema_indexes=False)
+    generator = CandidateGenerator(
+        db.schema,
+        db.stats,
+        GeneratorConfig(join_parameter=1, merge_orders=False),
+        range_chooser=RangeColumnChooser(evaluator=evaluator),
+    )
+    chosen: dict[str, Index] = {}
+    used_bytes = 0
+    queries = sorted(
+        (q for q in product.workload if not q.is_dml),
+        key=lambda q: -q.weight,
+    )
+    for query in queries:
+        info = evaluator.analyze(query.sql)
+        orders = generator.generate_for_query(info, MODE_NON_COVERING)
+        base = evaluator.cost(query.sql, list(chosen.values()))
+        best: tuple[float, Index] | None = None
+        for po in orders:
+            index = generator.index_for_order(po)
+            if index is None:
+                continue
+            cost = evaluator.cost(query.sql, list(chosen.values()) + [index])
+            gain = base - cost
+            if gain > 0 and (best is None or gain > best[0]):
+                best = (gain, index)
+        if best is None:
+            continue
+        index = best[1].materialized()
+        if _subsumed(index, chosen.values()):
+            continue
+        size = db.index_size_bytes(index)
+        if used_bytes + size > budget_bytes:
+            continue
+        chosen[index.name] = index
+        used_bytes += size
+
+    rng = random.Random(seed)
+    for child, fk, _parent in product.fk_edges:
+        if rng.random() < fk_index_probability:
+            idx = Index(child, (fk,))
+            if idx.name not in chosen and not _subsumed(idx, chosen.values()):
+                chosen[idx.name] = idx
+    return list(chosen.values())
+
+
+def _subsumed(index: Index, existing) -> bool:
+    """True if an existing index has the same key or extends it."""
+    return any(
+        index.is_prefix_of(other)
+        or (other.table == index.table and set(other.columns) == set(index.columns))
+        for other in existing
+    )
+
+
+def jaccard_similarity(left: list[Index], right: list[Index]) -> float:
+    """Jaccard index between two index sets, keyed by (table, columns)."""
+    a = {(i.table, i.columns) for i in left}
+    b = {(i.table, i.columns) for i in right}
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)

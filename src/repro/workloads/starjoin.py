@@ -1,0 +1,143 @@
+"""Join-heavy transactional workload for the join-parameter experiments.
+
+Reproduces the workload shape behind Fig 6: star queries over a fact
+table joined with up to three dimensions through *composite* join
+predicates whose individual columns are unselective but whose
+combination is highly selective -- the exact situation where greedy
+one-column-at-a-time advisors stall ("It is possible that any
+combination of two sub-predicates is not selective enough but a
+combination of all three is highly selective", Sec. VI-C) and where
+AIM's join parameter ``j`` controls how many join orders get supporting
+candidates.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..catalog import BIGINT, Column, INT, Table, varchar
+from ..engine import Database, INNODB, CostParams
+from ..stats import SyntheticColumn, synthesize_table
+from ..workload import Workload, WorkloadQuery
+
+#: Composite key column NDVs: individually weak, jointly strong.
+_KEY_NDV = 40
+
+FACT_ROWS = 2_000_000
+DIM_ROWS = 100_000
+
+
+def starjoin_tables(n_dimensions: int = 3) -> list[Table]:
+    """A fact table plus *n_dimensions* dimension tables.
+
+    Every dimension ``d<i>`` relates to the fact through a composite
+    (``k<i>a``, ``k<i>b``) pair; each component has only ~40 distinct
+    values, the pair ~1600.
+    """
+    fact_columns = [Column("id", BIGINT)]
+    for i in range(n_dimensions):
+        fact_columns.append(Column(f"k{i}a", INT))
+        fact_columns.append(Column(f"k{i}b", INT))
+    fact_columns += [
+        Column("amount", INT),
+        Column("status", varchar(8)),
+        Column("created", INT),
+    ]
+    tables = [Table("fact", fact_columns, ("id",))]
+    for i in range(n_dimensions):
+        tables.append(
+            Table(
+                f"d{i}",
+                [
+                    Column("id", BIGINT),
+                    Column("ka", INT),
+                    Column("kb", INT),
+                    Column("label", varchar(16)),
+                    Column("region", varchar(8)),
+                ],
+                ("id",),
+            )
+        )
+    return tables
+
+
+def starjoin_database(
+    n_dimensions: int = 3, params: CostParams = INNODB
+) -> Database:
+    """Stats-only star schema with the composite-key distributions."""
+    db = Database.from_tables(
+        starjoin_tables(n_dimensions), params=params, with_storage=False,
+        name="starjoin",
+    )
+    fact_spec = {
+        "id": SyntheticColumn(ndv=-1, lo=1, hi=FACT_ROWS),
+        "amount": SyntheticColumn(ndv=10_000, lo=1, hi=10_000),
+        "status": SyntheticColumn(ndv=4),
+        "created": SyntheticColumn(ndv=500_000, lo=0, hi=1_000_000),
+    }
+    for i in range(n_dimensions):
+        fact_spec[f"k{i}a"] = SyntheticColumn(ndv=_KEY_NDV, lo=0, hi=_KEY_NDV)
+        fact_spec[f"k{i}b"] = SyntheticColumn(ndv=_KEY_NDV, lo=0, hi=_KEY_NDV)
+    db.set_stats("fact", synthesize_table(FACT_ROWS, fact_spec))
+    for i in range(n_dimensions):
+        db.set_stats(
+            f"d{i}",
+            synthesize_table(DIM_ROWS, {
+                "id": SyntheticColumn(ndv=-1, lo=1, hi=DIM_ROWS),
+                "ka": SyntheticColumn(ndv=_KEY_NDV, lo=0, hi=_KEY_NDV),
+                "kb": SyntheticColumn(ndv=_KEY_NDV, lo=0, hi=_KEY_NDV),
+                "label": SyntheticColumn(ndv=DIM_ROWS // 2),
+                "region": SyntheticColumn(ndv=8),
+            }),
+        )
+    return db
+
+
+def _star_query(rng: random.Random, dims: list[int], name: str) -> WorkloadQuery:
+    """One star query joining the fact with the given dimensions via
+    composite predicates, driven by a selective dimension filter."""
+    tables = ["fact"] + [f"d{i}" for i in dims]
+    conditions = []
+    for i in dims:
+        conditions.append(f"fact.k{i}a = d{i}.ka")
+        conditions.append(f"fact.k{i}b = d{i}.kb")
+    driver = dims[0]
+    conditions.append(f"d{driver}.label = 'v{rng.randint(0, DIM_ROWS // 2)}'")
+    for other in dims[1:]:
+        conditions.append(f"d{other}.region = 'r{rng.randint(0, 7)}'")
+    conditions.append(f"fact.status = 's{rng.randint(0, 3)}'")
+    sql = (
+        f"SELECT fact.amount, d{driver}.label FROM {', '.join(tables)} "
+        f"WHERE {' AND '.join(conditions)}"
+    )
+    return WorkloadQuery(sql, weight=10.0, name=name)
+
+
+def starjoin_workload(seed: int = 17, n_queries: int = 24) -> Workload:
+    """A transactional mix: 2- and 3-dimension star joins, point reads,
+    and a sprinkle of DML."""
+    rng = random.Random(seed)
+    queries: list[WorkloadQuery] = []
+    for q in range(n_queries):
+        n_dims = 2 if q % 3 else 3    # one third of queries touch 3 dims
+        dims = rng.sample(range(3), n_dims)
+        queries.append(_star_query(rng, dims, name=f"star{q}"))
+    for q in range(n_queries // 3):
+        queries.append(
+            WorkloadQuery(
+                f"SELECT amount, status FROM fact WHERE created "
+                f"BETWEEN {q * 1000} AND {q * 1000 + 500}",
+                weight=20.0,
+                name=f"range{q}",
+            )
+        )
+    for q in range(n_queries // 4):
+        queries.append(
+            WorkloadQuery(
+                f"UPDATE fact SET amount = {rng.randint(1, 10_000)} "
+                f"WHERE id = {rng.randint(1, FACT_ROWS)}",
+                weight=50.0,
+                name=f"upd{q}",
+            )
+        )
+    return Workload(queries, name="starjoin")

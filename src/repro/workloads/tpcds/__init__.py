@@ -1,0 +1,19 @@
+"""TPC-DS core-schema benchmark (the paper's third analytical workload)."""
+
+from ...workload import Workload
+from .queries import TEMPLATES
+from .schema import row_counts, tpcds_database, tpcds_tables
+
+
+def tpcds_workload() -> Workload:
+    """Fifteen representative TPC-DS query templates."""
+    workload = Workload.from_sql(
+        [(template(), 1.0) for template in TEMPLATES.values()], name="tpcds"
+    )
+    for query, name in zip(workload.queries, TEMPLATES):
+        query.name = name
+    return workload
+
+
+__all__ = ["tpcds_database", "tpcds_tables", "tpcds_workload", "row_counts",
+           "TEMPLATES"]

@@ -1,0 +1,231 @@
+"""Representative TPC-DS query templates over the core retail schema.
+
+Fifteen templates modeled on the most-cited TPC-DS queries (Q3, Q6, Q7,
+Q13, Q19, Q25, Q26, Q28, Q42, Q48, Q52, Q53, Q55, Q68, Q98 families),
+flattened to the supported SQL subset the same way the TPC-H templates
+are (see that module's docstring for the conventions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def q3() -> str:
+    return (
+        "SELECT d.d_year, i.i_brand_id, i.i_brand, SUM(ss.ss_ext_sales_price) "
+        "FROM date_dim d, store_sales ss, item i "
+        "WHERE d.d_date_sk = ss.ss_sold_date_sk AND ss.ss_item_sk = i.i_item_sk "
+        "AND i.i_manufact_id = 128 AND d.d_moy = 11 "
+        "GROUP BY d.d_year, i.i_brand_id, i.i_brand "
+        "ORDER BY d.d_year, SUM(ss.ss_ext_sales_price) DESC LIMIT 100"
+    )
+
+
+def q6() -> str:
+    return (
+        "SELECT a.ca_state, COUNT(*) "
+        "FROM customer_address a, customer c, store_sales s, date_dim d, item i "
+        "WHERE a.ca_address_sk = c.c_current_addr_sk "
+        "AND c.c_customer_sk = s.ss_customer_sk "
+        "AND s.ss_sold_date_sk = d.d_date_sk AND s.ss_item_sk = i.i_item_sk "
+        "AND d.d_year = 2001 AND d.d_moy = 1 AND i.i_current_price > 50 "
+        "GROUP BY a.ca_state HAVING COUNT(*) >= 10 "
+        "ORDER BY COUNT(*) LIMIT 100"
+    )
+
+
+def q7() -> str:
+    return (
+        "SELECT i.i_item_id, AVG(ss.ss_quantity), AVG(ss.ss_sales_price) "
+        "FROM store_sales ss, customer_demographics cd, date_dim d, "
+        "item i, promotion p "
+        "WHERE ss.ss_sold_date_sk = d.d_date_sk "
+        "AND ss.ss_item_sk = i.i_item_sk "
+        "AND ss.ss_cdemo_sk = cd.cd_demo_sk "
+        "AND ss.ss_promo_sk = p.p_promo_sk "
+        "AND cd.cd_gender = 'M' AND cd.cd_marital_status = 'S' "
+        "AND cd.cd_education_status = 'College' "
+        "AND (p.p_channel_email = 'N' OR p.p_channel_event = 'N') "
+        "AND d.d_year = 2000 "
+        "GROUP BY i.i_item_id ORDER BY i.i_item_id LIMIT 100"
+    )
+
+
+def q13() -> str:
+    return (
+        "SELECT AVG(ss.ss_quantity), AVG(ss.ss_ext_sales_price), "
+        "AVG(ss.ss_net_profit) "
+        "FROM store_sales ss, store s, customer_demographics cd, "
+        "household_demographics hd, customer_address ca, date_dim d "
+        "WHERE s.s_store_sk = ss.ss_store_sk "
+        "AND ss.ss_sold_date_sk = d.d_date_sk AND d.d_year = 2001 "
+        "AND ss.ss_hdemo_sk = hd.hd_demo_sk "
+        "AND ss.ss_cdemo_sk = cd.cd_demo_sk "
+        "AND ss.ss_addr_sk = ca.ca_address_sk "
+        "AND cd.cd_marital_status = 'M' AND cd.cd_education_status = '4 yr Degree' "
+        "AND hd.hd_dep_count = 3 AND ca.ca_state IN ('TX', 'OH', 'TX') "
+        "AND ss.ss_net_profit BETWEEN 100 AND 200"
+    )
+
+
+def q19() -> str:
+    return (
+        "SELECT i.i_brand_id, i.i_brand, i.i_manufact_id, "
+        "SUM(ss.ss_ext_sales_price) "
+        "FROM date_dim d, store_sales ss, item i, customer c, "
+        "customer_address ca, store s "
+        "WHERE d.d_date_sk = ss.ss_sold_date_sk "
+        "AND ss.ss_item_sk = i.i_item_sk AND i.i_manager_id = 8 "
+        "AND d.d_moy = 11 AND d.d_year = 1998 "
+        "AND ss.ss_customer_sk = c.c_customer_sk "
+        "AND c.c_current_addr_sk = ca.ca_address_sk "
+        "AND ss.ss_store_sk = s.s_store_sk "
+        "GROUP BY i.i_brand_id, i.i_brand, i.i_manufact_id "
+        "ORDER BY SUM(ss.ss_ext_sales_price) DESC LIMIT 100"
+    )
+
+
+def q25() -> str:
+    return (
+        "SELECT i.i_item_id, s.s_store_id, SUM(ss.ss_net_profit) "
+        "FROM store_sales ss, store_returns sr, date_dim d1, item i, store s "
+        "WHERE d1.d_moy = 4 AND d1.d_year = 2001 "
+        "AND d1.d_date_sk = ss.ss_sold_date_sk "
+        "AND i.i_item_sk = ss.ss_item_sk AND s.s_store_sk = ss.ss_store_sk "
+        "AND ss.ss_customer_sk = sr.sr_customer_sk "
+        "AND ss.ss_item_sk = sr.sr_item_sk "
+        "AND ss.ss_ticket_number = sr.sr_ticket_number "
+        "GROUP BY i.i_item_id, s.s_store_id "
+        "ORDER BY i.i_item_id, s.s_store_id LIMIT 100"
+    )
+
+
+def q26() -> str:
+    return (
+        "SELECT i.i_item_id, AVG(cs.cs_quantity), AVG(cs.cs_ext_sales_price) "
+        "FROM catalog_sales cs, customer_demographics cd, date_dim d, item i "
+        "WHERE cs.cs_sold_date_sk = d.d_date_sk "
+        "AND cs.cs_item_sk = i.i_item_sk "
+        "AND cs.cs_bill_customer_sk = cd.cd_demo_sk "
+        "AND cd.cd_gender = 'F' AND cd.cd_marital_status = 'W' "
+        "AND cd.cd_education_status = 'Primary' AND d.d_year = 2000 "
+        "GROUP BY i.i_item_id ORDER BY i.i_item_id LIMIT 100"
+    )
+
+
+def q28() -> str:
+    return (
+        "SELECT AVG(ss_sales_price), COUNT(*), COUNT(DISTINCT ss_sales_price) "
+        "FROM store_sales "
+        "WHERE ss_quantity BETWEEN 0 AND 5 "
+        "AND (ss_sales_price BETWEEN 8 AND 18 "
+        "OR ss_net_profit BETWEEN 0 AND 50)"
+    )
+
+
+def q42() -> str:
+    return (
+        "SELECT d.d_year, i.i_category_id, i.i_category, "
+        "SUM(ss.ss_ext_sales_price) "
+        "FROM date_dim d, store_sales ss, item i "
+        "WHERE d.d_date_sk = ss.ss_sold_date_sk "
+        "AND ss.ss_item_sk = i.i_item_sk "
+        "AND i.i_manager_id = 1 AND d.d_moy = 11 AND d.d_year = 2000 "
+        "GROUP BY d.d_year, i.i_category_id, i.i_category "
+        "ORDER BY SUM(ss.ss_ext_sales_price) DESC, d.d_year LIMIT 100"
+    )
+
+
+def q48() -> str:
+    return (
+        "SELECT SUM(ss.ss_quantity) "
+        "FROM store_sales ss, store s, customer_demographics cd, "
+        "customer_address ca, date_dim d "
+        "WHERE s.s_store_sk = ss.ss_store_sk "
+        "AND ss.ss_sold_date_sk = d.d_date_sk AND d.d_year = 2000 "
+        "AND ss.ss_cdemo_sk = cd.cd_demo_sk "
+        "AND ss.ss_addr_sk = ca.ca_address_sk "
+        "AND ((cd.cd_marital_status = 'M' AND ss.ss_sales_price BETWEEN 100 AND 150) "
+        "OR (cd.cd_marital_status = 'D' AND ss.ss_sales_price BETWEEN 50 AND 100) "
+        "OR (cd.cd_marital_status = 'S' AND ss.ss_sales_price BETWEEN 150 AND 200))"
+    )
+
+
+def q52() -> str:
+    return (
+        "SELECT d.d_year, i.i_brand_id, i.i_brand, SUM(ss.ss_ext_sales_price) "
+        "FROM date_dim d, store_sales ss, item i "
+        "WHERE d.d_date_sk = ss.ss_sold_date_sk "
+        "AND ss.ss_item_sk = i.i_item_sk "
+        "AND i.i_manager_id = 1 AND d.d_moy = 11 AND d.d_year = 2000 "
+        "GROUP BY d.d_year, i.i_brand_id, i.i_brand "
+        "ORDER BY d.d_year, SUM(ss.ss_ext_sales_price) DESC LIMIT 100"
+    )
+
+
+def q53() -> str:
+    return (
+        "SELECT i.i_manufact_id, SUM(ss.ss_sales_price) "
+        "FROM item i, store_sales ss, date_dim d, store s "
+        "WHERE ss.ss_item_sk = i.i_item_sk "
+        "AND ss.ss_sold_date_sk = d.d_date_sk "
+        "AND ss.ss_store_sk = s.s_store_sk "
+        "AND d.d_qoy = 1 AND d.d_year = 2001 "
+        "AND i.i_category IN ('Books', 'Children', 'Electronics') "
+        "GROUP BY i.i_manufact_id "
+        "ORDER BY SUM(ss.ss_sales_price) LIMIT 100"
+    )
+
+
+def q55() -> str:
+    return (
+        "SELECT i.i_brand_id, i.i_brand, SUM(ss.ss_ext_sales_price) "
+        "FROM date_dim d, store_sales ss, item i "
+        "WHERE d.d_date_sk = ss.ss_sold_date_sk "
+        "AND ss.ss_item_sk = i.i_item_sk "
+        "AND i.i_manager_id = 28 AND d.d_moy = 11 AND d.d_year = 1999 "
+        "GROUP BY i.i_brand_id, i.i_brand "
+        "ORDER BY SUM(ss.ss_ext_sales_price) DESC LIMIT 100"
+    )
+
+
+def q68() -> str:
+    return (
+        "SELECT c.c_last_name, c.c_first_name, ca.ca_city, "
+        "SUM(ss.ss_ext_sales_price) "
+        "FROM store_sales ss, date_dim d, store s, "
+        "household_demographics hd, customer_address ca, customer c "
+        "WHERE ss.ss_sold_date_sk = d.d_date_sk "
+        "AND ss.ss_store_sk = s.s_store_sk "
+        "AND ss.ss_hdemo_sk = hd.hd_demo_sk "
+        "AND ss.ss_addr_sk = ca.ca_address_sk "
+        "AND ss.ss_customer_sk = c.c_customer_sk "
+        "AND d.d_dom BETWEEN 1 AND 2 "
+        "AND (hd.hd_dep_count = 4 OR hd.hd_vehicle_count = 3) "
+        "AND d.d_year IN (1999, 2000, 2001) "
+        "AND s.s_store_name = 'ese' "
+        "GROUP BY c.c_last_name, c.c_first_name, ca.ca_city "
+        "ORDER BY c.c_last_name LIMIT 100"
+    )
+
+
+def q98() -> str:
+    return (
+        "SELECT i.i_item_id, i.i_category, i.i_class, i.i_current_price, "
+        "SUM(ss.ss_ext_sales_price) "
+        "FROM store_sales ss, item i, date_dim d "
+        "WHERE ss.ss_item_sk = i.i_item_sk "
+        "AND i.i_category IN ('Sports', 'Books', 'Home') "
+        "AND ss.ss_sold_date_sk = d.d_date_sk "
+        "AND d.d_date_sk BETWEEN 2451911 AND 2451941 "
+        "GROUP BY i.i_item_id, i.i_category, i.i_class, i.i_current_price "
+        "ORDER BY i.i_category, i.i_class, i.i_item_id LIMIT 100"
+    )
+
+
+TEMPLATES: dict[str, Callable[[], str]] = {
+    "q3": q3, "q6": q6, "q7": q7, "q13": q13, "q19": q19, "q25": q25,
+    "q26": q26, "q28": q28, "q42": q42, "q48": q48, "q52": q52,
+    "q53": q53, "q55": q55, "q68": q68, "q98": q98,
+}

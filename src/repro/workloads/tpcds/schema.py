@@ -1,0 +1,257 @@
+"""TPC-DS core schema (stats-only) at configurable scale factors.
+
+The paper also benchmarked TPC-DS but omitted the graphs ("followed the
+same trend", Sec. VI-B); we include the core retail-sales star schema --
+the tables the commonly-plotted TPC-DS queries touch -- so the trend can
+be verified here as well (``benchmarks/bench_fig4_tpcds.py``).
+
+Cardinalities follow the specification's SF-1 row counts scaled by the
+usual TPC-DS growth factors.
+"""
+
+from __future__ import annotations
+
+from ...catalog import Column, Table, char, varchar, BIGINT, DECIMAL, INT
+from ...engine import Database, INNODB, CostParams
+from ...stats import SyntheticColumn, synthesize_table
+
+
+def row_counts(scale_factor: float) -> dict[str, int]:
+    """Core-table cardinalities at a scale factor (SF-1 baseline)."""
+    sf = scale_factor
+    return {
+        "date_dim": 73_049,                      # fixed
+        "item": int(18_000 * max(1.0, sf ** 0.5)),
+        "store": max(12, int(12 * sf ** 0.5)),
+        "promotion": int(300 * max(1.0, sf ** 0.5)),
+        "household_demographics": 7_200,         # fixed
+        "customer_demographics": 1_920_800,      # fixed
+        "customer_address": int(50_000 * sf),
+        "customer": int(100_000 * sf),
+        "store_sales": int(2_880_404 * sf),
+        "store_returns": int(287_514 * sf),
+        "catalog_sales": int(1_441_548 * sf),
+    }
+
+
+def tpcds_tables() -> list[Table]:
+    return [
+        Table("date_dim", [
+            Column("d_date_sk", INT),
+            Column("d_year", INT),
+            Column("d_moy", INT),
+            Column("d_dom", INT),
+            Column("d_qoy", INT),
+            Column("d_day_name", char(9)),
+        ], ("d_date_sk",)),
+        Table("item", [
+            Column("i_item_sk", INT),
+            Column("i_item_id", char(16)),
+            Column("i_brand_id", INT, nullable=True),
+            Column("i_brand", char(30), nullable=True),
+            Column("i_category_id", INT, nullable=True),
+            Column("i_category", char(25), nullable=True),
+            Column("i_class", char(25), nullable=True),
+            Column("i_manufact_id", INT, nullable=True),
+            Column("i_current_price", DECIMAL, nullable=True),
+            Column("i_manager_id", INT, nullable=True),
+        ], ("i_item_sk",)),
+        Table("store", [
+            Column("s_store_sk", INT),
+            Column("s_store_id", char(16)),
+            Column("s_store_name", varchar(25), nullable=True),
+            Column("s_state", char(2), nullable=True),
+            Column("s_gmt_offset", DECIMAL, nullable=True),
+        ], ("s_store_sk",)),
+        Table("promotion", [
+            Column("p_promo_sk", INT),
+            Column("p_channel_email", char(1), nullable=True),
+            Column("p_channel_event", char(1), nullable=True),
+        ], ("p_promo_sk",)),
+        Table("household_demographics", [
+            Column("hd_demo_sk", INT),
+            Column("hd_dep_count", INT, nullable=True),
+            Column("hd_vehicle_count", INT, nullable=True),
+        ], ("hd_demo_sk",)),
+        Table("customer_demographics", [
+            Column("cd_demo_sk", INT),
+            Column("cd_gender", char(1), nullable=True),
+            Column("cd_marital_status", char(1), nullable=True),
+            Column("cd_education_status", char(20), nullable=True),
+        ], ("cd_demo_sk",)),
+        Table("customer_address", [
+            Column("ca_address_sk", INT),
+            Column("ca_state", char(2), nullable=True),
+            Column("ca_city", varchar(30), nullable=True),
+            Column("ca_gmt_offset", DECIMAL, nullable=True),
+        ], ("ca_address_sk",)),
+        Table("customer", [
+            Column("c_customer_sk", INT),
+            Column("c_customer_id", char(16)),
+            Column("c_current_addr_sk", INT, nullable=True),
+            Column("c_current_cdemo_sk", INT, nullable=True),
+            Column("c_birth_year", INT, nullable=True),
+            Column("c_first_name", char(20), nullable=True),
+            Column("c_last_name", char(30), nullable=True),
+        ], ("c_customer_sk",)),
+        Table("store_sales", [
+            Column("ss_item_sk", BIGINT),
+            Column("ss_ticket_number", BIGINT),
+            Column("ss_sold_date_sk", INT, nullable=True),
+            Column("ss_customer_sk", INT, nullable=True),
+            Column("ss_cdemo_sk", INT, nullable=True),
+            Column("ss_hdemo_sk", INT, nullable=True),
+            Column("ss_addr_sk", INT, nullable=True),
+            Column("ss_store_sk", INT, nullable=True),
+            Column("ss_promo_sk", INT, nullable=True),
+            Column("ss_quantity", INT, nullable=True),
+            Column("ss_sales_price", DECIMAL, nullable=True),
+            Column("ss_ext_sales_price", DECIMAL, nullable=True),
+            Column("ss_net_profit", DECIMAL, nullable=True),
+        ], ("ss_item_sk", "ss_ticket_number")),
+        Table("store_returns", [
+            Column("sr_item_sk", BIGINT),
+            Column("sr_ticket_number", BIGINT),
+            Column("sr_returned_date_sk", INT, nullable=True),
+            Column("sr_customer_sk", INT, nullable=True),
+            Column("sr_return_amt", DECIMAL, nullable=True),
+        ], ("sr_item_sk", "sr_ticket_number")),
+        Table("catalog_sales", [
+            Column("cs_item_sk", BIGINT),
+            Column("cs_order_number", BIGINT),
+            Column("cs_sold_date_sk", INT, nullable=True),
+            Column("cs_bill_customer_sk", INT, nullable=True),
+            Column("cs_quantity", INT, nullable=True),
+            Column("cs_ext_sales_price", DECIMAL, nullable=True),
+        ], ("cs_item_sk", "cs_order_number")),
+    ]
+
+
+def _specs(counts: dict[str, int]) -> dict[str, dict[str, SyntheticColumn]]:
+    u = SyntheticColumn
+    return {
+        "date_dim": {
+            "d_date_sk": u(ndv=-1, lo=2_415_022, hi=2_488_070),
+            "d_year": u(ndv=201, lo=1900, hi=2100),
+            "d_moy": u(ndv=12, lo=1, hi=12),
+            "d_dom": u(ndv=31, lo=1, hi=31),
+            "d_qoy": u(ndv=4, lo=1, hi=4),
+            "d_day_name": u(ndv=7),
+        },
+        "item": {
+            "i_item_sk": u(ndv=-1, lo=1, hi=counts["item"]),
+            "i_item_id": u(ndv=counts["item"] // 2),
+            "i_brand_id": u(ndv=1000, lo=1_000_000, hi=10_000_000),
+            "i_brand": u(ndv=700),
+            "i_category_id": u(ndv=10, lo=1, hi=10),
+            "i_category": u(ndv=10),
+            "i_class": u(ndv=100),
+            "i_manufact_id": u(ndv=1000, lo=1, hi=1000),
+            "i_current_price": u(ndv=100, lo=0.09, hi=99.99),
+            "i_manager_id": u(ndv=100, lo=1, hi=100),
+        },
+        "store": {
+            "s_store_sk": u(ndv=-1, lo=1, hi=counts["store"]),
+            "s_store_id": u(ndv=max(1, counts["store"] // 2)),
+            "s_store_name": u(ndv=10),
+            "s_state": u(ndv=9),
+            "s_gmt_offset": u(ndv=2, lo=-6, hi=-5),
+        },
+        "promotion": {
+            "p_promo_sk": u(ndv=-1, lo=1, hi=counts["promotion"]),
+            "p_channel_email": u(ndv=2),
+            "p_channel_event": u(ndv=2),
+        },
+        "household_demographics": {
+            "hd_demo_sk": u(ndv=-1, lo=1, hi=7200),
+            "hd_dep_count": u(ndv=10, lo=0, hi=9),
+            "hd_vehicle_count": u(ndv=6, lo=-1, hi=4),
+        },
+        "customer_demographics": {
+            "cd_demo_sk": u(ndv=-1, lo=1, hi=1_920_800),
+            "cd_gender": u(ndv=2),
+            "cd_marital_status": u(ndv=5),
+            "cd_education_status": u(ndv=7),
+        },
+        "customer_address": {
+            "ca_address_sk": u(ndv=-1, lo=1, hi=counts["customer_address"]),
+            "ca_state": u(ndv=51),
+            "ca_city": u(ndv=min(counts["customer_address"], 1000)),
+            "ca_gmt_offset": u(ndv=6, lo=-10, hi=-5),
+        },
+        "customer": {
+            "c_customer_sk": u(ndv=-1, lo=1, hi=counts["customer"]),
+            "c_customer_id": u(ndv=-1),
+            "c_current_addr_sk": u(
+                ndv=counts["customer_address"], lo=1,
+                hi=counts["customer_address"],
+            ),
+            "c_current_cdemo_sk": u(ndv=1_000_000, lo=1, hi=1_920_800),
+            "c_birth_year": u(ndv=69, lo=1924, hi=1992),
+            "c_first_name": u(ndv=5_000),
+            "c_last_name": u(ndv=5_000),
+        },
+        "store_sales": {
+            "ss_item_sk": u(ndv=counts["item"], lo=1, hi=counts["item"]),
+            "ss_ticket_number": u(
+                ndv=max(1, counts["store_sales"] // 12), lo=1,
+                hi=max(2, counts["store_sales"] // 2),
+            ),
+            "ss_sold_date_sk": u(ndv=1823, lo=2_450_816, hi=2_452_642,
+                                 null_frac=0.02),
+            "ss_customer_sk": u(ndv=counts["customer"], lo=1,
+                                hi=counts["customer"], null_frac=0.02),
+            "ss_cdemo_sk": u(ndv=1_000_000, lo=1, hi=1_920_800, null_frac=0.02),
+            "ss_hdemo_sk": u(ndv=7200, lo=1, hi=7200, null_frac=0.02),
+            "ss_addr_sk": u(ndv=counts["customer_address"], lo=1,
+                            hi=counts["customer_address"], null_frac=0.02),
+            "ss_store_sk": u(ndv=max(1, counts["store"] // 2), lo=1,
+                             hi=counts["store"], null_frac=0.02),
+            "ss_promo_sk": u(ndv=counts["promotion"], lo=1,
+                             hi=counts["promotion"], null_frac=0.02),
+            "ss_quantity": u(ndv=100, lo=1, hi=100),
+            "ss_sales_price": u(ndv=20_000, lo=0, hi=200),
+            "ss_ext_sales_price": u(ndv=100_000, lo=0, hi=20_000),
+            "ss_net_profit": u(ndv=100_000, lo=-10_000, hi=10_000),
+        },
+        "store_returns": {
+            "sr_item_sk": u(ndv=counts["item"], lo=1, hi=counts["item"]),
+            "sr_ticket_number": u(
+                ndv=max(1, counts["store_returns"] // 2), lo=1,
+                hi=max(2, counts["store_sales"] // 2),
+            ),
+            "sr_returned_date_sk": u(ndv=2003, lo=2_450_820, hi=2_452_822,
+                                     null_frac=0.03),
+            "sr_customer_sk": u(ndv=counts["customer"], lo=1,
+                                hi=counts["customer"], null_frac=0.03),
+            "sr_return_amt": u(ndv=50_000, lo=0, hi=19_000),
+        },
+        "catalog_sales": {
+            "cs_item_sk": u(ndv=counts["item"], lo=1, hi=counts["item"]),
+            "cs_order_number": u(
+                ndv=max(1, counts["catalog_sales"] // 6), lo=1,
+                hi=max(2, counts["catalog_sales"]),
+            ),
+            "cs_sold_date_sk": u(ndv=1823, lo=2_450_816, hi=2_452_642),
+            "cs_bill_customer_sk": u(ndv=counts["customer"], lo=1,
+                                     hi=counts["customer"]),
+            "cs_quantity": u(ndv=100, lo=1, hi=100),
+            "cs_ext_sales_price": u(ndv=100_000, lo=0, hi=20_000),
+        },
+    }
+
+
+def tpcds_database(
+    scale_factor: float = 1.0,
+    params: CostParams = INNODB,
+    name: str = "tpcds",
+) -> Database:
+    """A stats-only core-TPC-DS database at the given scale factor."""
+    db = Database.from_tables(
+        tpcds_tables(), params=params, with_storage=False,
+        name=f"{name}-sf{scale_factor:g}",
+    )
+    counts = row_counts(scale_factor)
+    for table, spec in _specs(counts).items():
+        db.set_stats(table, synthesize_table(counts[table], spec))
+    return db

@@ -1,0 +1,33 @@
+"""TPC-H benchmark: schema, statistics, data generation, 22 queries."""
+
+import random
+from typing import Optional
+
+from ...workload import Workload
+from .datagen import load_tpch
+from .queries import TEMPLATES
+from .schema import MAX_DAY, day, row_counts, tpch_database, tpch_tables
+
+
+def tpch_workload(seed: Optional[int] = None) -> Workload:
+    """The 22-query TPC-H workload (validation parameters when unseeded)."""
+    rng = random.Random(seed) if seed is not None else None
+    queries = []
+    for i, template in enumerate(TEMPLATES):
+        queries.append((template(rng), 1.0))
+    workload = Workload.from_sql(queries, name="tpch")
+    for i, query in enumerate(workload.queries):
+        query.name = f"Q{i + 1}"
+    return workload
+
+
+__all__ = [
+    "tpch_database",
+    "tpch_tables",
+    "tpch_workload",
+    "load_tpch",
+    "row_counts",
+    "day",
+    "MAX_DAY",
+    "TEMPLATES",
+]

@@ -1,0 +1,163 @@
+"""TPC-H data generation for executor-backed tests.
+
+Generates rows whose distributions match the synthetic statistics of
+:mod:`.schema` closely enough for plan/selectivity validation.  Intended
+for small scale factors (<= 0.05); the estimated-cost experiments use
+stats-only databases instead.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...engine import Database, INNODB, CostParams
+from .schema import MAX_DAY, row_counts, tpch_tables
+
+_SEGMENTS = ["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"]
+_REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_STATUSES = ["F", "O", "P"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SHIPMODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_INSTRUCTS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+_CONTAINERS = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE",
+               "LG BOX", "JUMBO PACK", "WRAP CASE"]
+_NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+]
+_TYPE_WORDS1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_TYPE_WORDS2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_TYPE_WORDS3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_NAME_WORDS = ["green", "blue", "red", "ivory", "peach", "forest", "azure",
+               "chocolate", "salmon", "linen"]
+
+
+def load_tpch(
+    scale_factor: float = 0.01,
+    seed: int = 42,
+    params: CostParams = INNODB,
+) -> Database:
+    """Build and populate a stored TPC-H database, then ANALYZE it."""
+    rng = random.Random(seed)
+    db = Database.from_tables(
+        tpch_tables(), params=params, with_storage=True,
+        name=f"tpch-data-sf{scale_factor:g}",
+    )
+    counts = row_counts(scale_factor)
+
+    db.load_rows("region", (
+        {"r_regionkey": i, "r_name": _REGION_NAMES[i], "r_comment": f"region {i}"}
+        for i in range(5)
+    ))
+    db.load_rows("nation", (
+        {
+            "n_nationkey": i,
+            "n_name": _NATION_NAMES[i],
+            "n_regionkey": i % 5,
+            "n_comment": f"nation {i}",
+        }
+        for i in range(25)
+    ))
+    db.load_rows("supplier", (
+        {
+            "s_suppkey": i + 1,
+            "s_name": f"Supplier#{i + 1:09d}",
+            "s_address": f"addr{i}",
+            "s_nationkey": rng.randrange(25),
+            "s_phone": f"{rng.randint(10, 34)}-{rng.randint(100, 999)}",
+            "s_acctbal": round(rng.uniform(-999, 9999), 2),
+            "s_comment": f"comment {i}",
+        }
+        for i in range(counts["supplier"])
+    ))
+    db.load_rows("customer", (
+        {
+            "c_custkey": i + 1,
+            "c_name": f"Customer#{i + 1:09d}",
+            "c_address": f"caddr{i}",
+            "c_nationkey": rng.randrange(25),
+            "c_phone": f"{rng.randint(10, 34)}-{rng.randint(100, 999)}",
+            "c_acctbal": round(rng.uniform(-999, 9999), 2),
+            "c_mktsegment": rng.choice(_SEGMENTS),
+            "c_comment": f"ccomment {i}",
+        }
+        for i in range(counts["customer"])
+    ))
+    db.load_rows("part", (
+        {
+            "p_partkey": i + 1,
+            "p_name": " ".join(rng.sample(_NAME_WORDS, 3)),
+            "p_mfgr": f"Manufacturer#{rng.randint(1, 5)}",
+            "p_brand": f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+            "p_type": (
+                f"{rng.choice(_TYPE_WORDS1)} {rng.choice(_TYPE_WORDS2)} "
+                f"{rng.choice(_TYPE_WORDS3)}"
+            ),
+            "p_size": rng.randint(1, 50),
+            "p_container": rng.choice(_CONTAINERS),
+            "p_retailprice": round(900 + (i % 1000) + rng.uniform(0, 100), 2),
+            "p_comment": f"pc{i}",
+        }
+        for i in range(counts["part"])
+    ))
+    db.load_rows("partsupp", (
+        {
+            "ps_partkey": (i % counts["part"]) + 1,
+            "ps_suppkey": rng.randint(1, counts["supplier"]),
+            "ps_availqty": rng.randint(1, 9999),
+            "ps_supplycost": round(rng.uniform(1, 1000), 2),
+            "ps_comment": f"psc{i}",
+        }
+        for i in range(counts["partsupp"])
+    ))
+    order_rows = []
+    for i in range(counts["orders"]):
+        order_rows.append({
+            "o_orderkey": i + 1,
+            "o_custkey": rng.randint(1, counts["customer"]),
+            "o_orderstatus": rng.choice(_STATUSES),
+            "o_totalprice": round(rng.uniform(800, 560_000), 2),
+            "o_orderdate": rng.randint(0, MAX_DAY - 151),
+            "o_orderpriority": rng.choice(_PRIORITIES),
+            "o_clerk": f"Clerk#{rng.randint(1, max(1, counts['orders'] // 100))}",
+            "o_shippriority": 0,
+            "o_comment": rng.choice(
+                ["regular deposits", "special requests handled", "quiet ideas"]
+            ),
+        })
+    db.load_rows("orders", order_rows)
+    lineitems = []
+    i = 0
+    while i < counts["lineitem"]:
+        order = order_rows[rng.randrange(len(order_rows))]
+        for line in range(1, rng.randint(1, 7) + 1):
+            if i >= counts["lineitem"]:
+                break
+            ship = order["o_orderdate"] + rng.randint(1, 121)
+            commit = order["o_orderdate"] + rng.randint(30, 90)
+            receipt = ship + rng.randint(1, 30)
+            lineitems.append({
+                "l_orderkey": order["o_orderkey"],
+                "l_partkey": rng.randint(1, counts["part"]),
+                "l_suppkey": rng.randint(1, counts["supplier"]),
+                "l_linenumber": line,
+                "l_quantity": rng.randint(1, 50),
+                "l_extendedprice": round(rng.uniform(900, 105_000), 2),
+                "l_discount": round(rng.randint(0, 10) / 100, 2),
+                "l_tax": round(rng.randint(0, 8) / 100, 2),
+                "l_returnflag": rng.choice(["A", "N", "R"]),
+                "l_linestatus": rng.choice(["F", "O"]),
+                "l_shipdate": min(ship, MAX_DAY),
+                "l_commitdate": min(commit, MAX_DAY),
+                "l_receiptdate": min(receipt, MAX_DAY),
+                "l_shipinstruct": rng.choice(_INSTRUCTS),
+                "l_shipmode": rng.choice(_SHIPMODES),
+                "l_comment": f"lc{i}",
+            })
+            i += 1
+    db.load_rows("lineitem", lineitems)
+    db.analyze()
+    return db

@@ -1,0 +1,397 @@
+"""The 22 TPC-H query templates, expressed in the supported SQL subset.
+
+Every template keeps the original query's *access-pattern structure* --
+filters, join graph, grouping and ordering -- which is all an index
+advisor consumes.  Deviations from the official text (all documented
+per query):
+
+* dates are integer day offsets (see :mod:`.schema`),
+* correlated / scalar subqueries are flattened into joins or constant
+  thresholds (Q2, Q4, Q11, Q13, Q15, Q17, Q18, Q20, Q21, Q22),
+* ``EXTRACT(YEAR ...)`` becomes integer division by 365 (Q7-Q9),
+* CASE expressions inside aggregates are dropped or reduced (Q8, Q12,
+  Q14).
+
+Default substitution parameters follow the specification's validation
+values; pass an ``rng`` for randomized parameter instantiation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from .schema import day
+
+Rng = Optional[random.Random]
+
+_SEGMENTS = ["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"]
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = ["FRANCE", "GERMANY", "BRAZIL", "CANADA", "JAPAN", "INDIA",
+            "ARGENTINA", "SAUDI ARABIA", "EGYPT", "KENYA"]
+_BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+_CONTAINERS = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE",
+               "LG BOX", "JUMBO PACK", "WRAP CASE"]
+_SHIPMODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_TYPES = ["ECONOMY ANODIZED STEEL", "STANDARD POLISHED COPPER",
+          "PROMO BURNISHED NICKEL", "MEDIUM PLATED BRASS"]
+
+
+def _choice(rng: Rng, options, default_index: int = 0):
+    if rng is None:
+        return options[default_index]
+    return rng.choice(options)
+
+
+def q1(rng: Rng = None) -> str:
+    delta = 90 if rng is None else rng.randint(60, 120)
+    cutoff = day(1998, 12, 1) - delta
+    return (
+        "SELECT l_returnflag, l_linestatus, SUM(l_quantity), "
+        "SUM(l_extendedprice), SUM(l_extendedprice * (1 - l_discount)), "
+        "AVG(l_quantity), AVG(l_extendedprice), AVG(l_discount), COUNT(*) "
+        f"FROM lineitem WHERE l_shipdate <= {cutoff} "
+        "GROUP BY l_returnflag, l_linestatus "
+        "ORDER BY l_returnflag, l_linestatus"
+    )
+
+
+def q2(rng: Rng = None) -> str:
+    # Min-supplycost correlated subquery flattened into the join.
+    size = 15 if rng is None else rng.randint(1, 50)
+    region = _choice(rng, _REGIONS, 3)
+    return (
+        "SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, "
+        "s_phone, s_comment "
+        "FROM part, supplier, partsupp, nation, region "
+        "WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey "
+        f"AND p_size = {size} AND p_type LIKE '%BRASS' "
+        "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+        f"AND r_name = '{region}' "
+        "ORDER BY s_acctbal DESC LIMIT 100"
+    )
+
+
+def q3(rng: Rng = None) -> str:
+    segment = _choice(rng, _SEGMENTS, 0)
+    pivot = day(1995, 3, 15) if rng is None else day(1995, 3, rng.randint(1, 28))
+    return (
+        "SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)), "
+        "o_orderdate, o_shippriority "
+        "FROM customer, orders, lineitem "
+        f"WHERE c_mktsegment = '{segment}' AND c_custkey = o_custkey "
+        f"AND l_orderkey = o_orderkey AND o_orderdate < {pivot} "
+        f"AND l_shipdate > {pivot} "
+        "GROUP BY l_orderkey, o_orderdate, o_shippriority "
+        "ORDER BY o_orderdate LIMIT 10"
+    )
+
+
+def q4(rng: Rng = None) -> str:
+    # EXISTS flattened into an inner join on lineitem.
+    start = day(1993, 7, 1) if rng is None else day(
+        rng.randint(1993, 1997), rng.choice([1, 4, 7, 10]), 1
+    )
+    return (
+        "SELECT o_orderpriority, COUNT(*) "
+        "FROM orders, lineitem "
+        f"WHERE o_orderdate >= {start} AND o_orderdate < {start + 92} "
+        "AND l_orderkey = o_orderkey AND l_commitdate < l_receiptdate "
+        "GROUP BY o_orderpriority ORDER BY o_orderpriority"
+    )
+
+
+def q5(rng: Rng = None) -> str:
+    region = _choice(rng, _REGIONS, 2)
+    start = day(1994, 1, 1) if rng is None else day(rng.randint(1993, 1997), 1, 1)
+    return (
+        "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) "
+        "FROM customer, orders, lineitem, supplier, nation, region "
+        "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+        "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+        "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+        f"AND r_name = '{region}' AND o_orderdate >= {start} "
+        f"AND o_orderdate < {start + 365} "
+        "GROUP BY n_name "
+        "ORDER BY SUM(l_extendedprice * (1 - l_discount)) DESC"
+    )
+
+
+def q6(rng: Rng = None) -> str:
+    start = day(1994, 1, 1) if rng is None else day(rng.randint(1993, 1997), 1, 1)
+    discount = 0.06 if rng is None else round(rng.uniform(0.02, 0.09), 2)
+    quantity = 24 if rng is None else rng.randint(24, 25)
+    return (
+        "SELECT SUM(l_extendedprice * l_discount) FROM lineitem "
+        f"WHERE l_shipdate >= {start} AND l_shipdate < {start + 365} "
+        f"AND l_discount BETWEEN {discount - 0.01:.2f} AND {discount + 0.01:.2f} "
+        f"AND l_quantity < {quantity}"
+    )
+
+
+def q7(rng: Rng = None) -> str:
+    n1 = _choice(rng, _NATIONS, 0)
+    n2 = _choice(rng, [n for n in _NATIONS if n != n1], 1)
+    return (
+        "SELECT n1.n_name, n2.n_name, l_shipdate / 365, "
+        "SUM(l_extendedprice * (1 - l_discount)) "
+        "FROM supplier, lineitem, orders, customer, nation n1, nation n2 "
+        "WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey "
+        "AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey "
+        "AND c_nationkey = n2.n_nationkey "
+        f"AND ((n1.n_name = '{n1}' AND n2.n_name = '{n2}') "
+        f"OR (n1.n_name = '{n2}' AND n2.n_name = '{n1}')) "
+        f"AND l_shipdate BETWEEN {day(1995, 1, 1)} AND {day(1996, 12, 31)} "
+        "GROUP BY n1.n_name, n2.n_name, l_shipdate / 365 "
+        "ORDER BY n1.n_name, n2.n_name"
+    )
+
+
+def q8(rng: Rng = None) -> str:
+    nation = _choice(rng, _NATIONS, 2)
+    region = _choice(rng, _REGIONS, 1)
+    ptype = _choice(rng, _TYPES, 0)
+    return (
+        "SELECT o_orderdate / 365, SUM(l_extendedprice * (1 - l_discount)) "
+        "FROM part, supplier, lineitem, orders, customer, nation n1, "
+        "nation n2, region "
+        "WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey "
+        "AND l_orderkey = o_orderkey AND o_custkey = c_custkey "
+        "AND c_nationkey = n1.n_nationkey AND n1.n_regionkey = r_regionkey "
+        f"AND r_name = '{region}' AND s_nationkey = n2.n_nationkey "
+        f"AND o_orderdate BETWEEN {day(1995, 1, 1)} AND {day(1996, 12, 31)} "
+        f"AND p_type = '{ptype}' "
+        "GROUP BY o_orderdate / 365 ORDER BY o_orderdate / 365"
+    )
+
+
+def q9(rng: Rng = None) -> str:
+    fragment = "green" if rng is None else rng.choice(
+        ["green", "blue", "red", "ivory", "peach"]
+    )
+    return (
+        "SELECT n_name, o_orderdate / 365, "
+        "SUM(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) "
+        "FROM part, supplier, lineitem, partsupp, orders, nation "
+        "WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey "
+        "AND ps_partkey = l_partkey AND p_partkey = l_partkey "
+        "AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey "
+        f"AND p_name LIKE '%{fragment}%' "
+        "GROUP BY n_name, o_orderdate / 365 "
+        "ORDER BY n_name, o_orderdate / 365 DESC"
+    )
+
+
+def q10(rng: Rng = None) -> str:
+    start = day(1993, 10, 1) if rng is None else day(
+        rng.randint(1993, 1995), rng.choice([1, 4, 7, 10]), 1
+    )
+    return (
+        "SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)), "
+        "c_acctbal, n_name, c_address, c_phone, c_comment "
+        "FROM customer, orders, lineitem, nation "
+        "WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey "
+        f"AND o_orderdate >= {start} AND o_orderdate < {start + 92} "
+        "AND l_returnflag = 'R' AND c_nationkey = n_nationkey "
+        "GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, "
+        "c_address, c_comment "
+        "ORDER BY SUM(l_extendedprice * (1 - l_discount)) DESC LIMIT 20"
+    )
+
+
+def q11(rng: Rng = None) -> str:
+    # Scalar-subquery threshold flattened to a constant HAVING bound.
+    nation = _choice(rng, _NATIONS, 1)
+    threshold = 7_500_000 if rng is None else rng.randint(5_000_000, 10_000_000)
+    return (
+        "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) "
+        "FROM partsupp, supplier, nation "
+        "WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey "
+        f"AND n_name = '{nation}' "
+        "GROUP BY ps_partkey "
+        f"HAVING SUM(ps_supplycost * ps_availqty) > {threshold} "
+        "ORDER BY SUM(ps_supplycost * ps_availqty) DESC"
+    )
+
+
+def q12(rng: Rng = None) -> str:
+    m1 = _choice(rng, _SHIPMODES, 5)
+    m2 = _choice(rng, [m for m in _SHIPMODES if m != m1], 4)
+    start = day(1994, 1, 1) if rng is None else day(rng.randint(1993, 1997), 1, 1)
+    return (
+        "SELECT l_shipmode, COUNT(*) "
+        "FROM orders, lineitem "
+        "WHERE o_orderkey = l_orderkey "
+        f"AND l_shipmode IN ('{m1}', '{m2}') "
+        "AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate "
+        f"AND l_receiptdate >= {start} AND l_receiptdate < {start + 365} "
+        "GROUP BY l_shipmode ORDER BY l_shipmode"
+    )
+
+
+def q13(rng: Rng = None) -> str:
+    # LEFT OUTER JOIN kept; the NOT LIKE comment filter is preserved.
+    word = "special" if rng is None else rng.choice(
+        ["special", "pending", "unusual", "express"]
+    )
+    return (
+        "SELECT c_custkey, COUNT(*) "
+        "FROM customer LEFT JOIN orders ON c_custkey = o_custkey "
+        f"AND o_comment NOT LIKE '%{word}%requests%' "
+        "GROUP BY c_custkey ORDER BY COUNT(*) DESC LIMIT 100"
+    )
+
+
+def q14(rng: Rng = None) -> str:
+    start = day(1995, 9, 1) if rng is None else day(
+        rng.randint(1993, 1997), rng.randint(1, 12), 1
+    )
+    return (
+        "SELECT SUM(l_extendedprice * (1 - l_discount)) "
+        "FROM lineitem, part "
+        "WHERE l_partkey = p_partkey "
+        f"AND l_shipdate >= {start} AND l_shipdate < {start + 30}"
+    )
+
+
+def q15(rng: Rng = None) -> str:
+    # The revenue view is inlined; the max() comparison becomes LIMIT 1.
+    start = day(1996, 1, 1) if rng is None else day(
+        rng.randint(1993, 1997), rng.choice([1, 4, 7, 10]), 1
+    )
+    return (
+        "SELECT s_suppkey, s_name, s_address, s_phone, "
+        "SUM(l_extendedprice * (1 - l_discount)) "
+        "FROM supplier, lineitem "
+        "WHERE s_suppkey = l_suppkey "
+        f"AND l_shipdate >= {start} AND l_shipdate < {start + 92} "
+        "GROUP BY s_suppkey, s_name, s_address, s_phone "
+        "ORDER BY SUM(l_extendedprice * (1 - l_discount)) DESC LIMIT 1"
+    )
+
+
+def q16(rng: Rng = None) -> str:
+    brand = _choice(rng, _BRANDS, 20)
+    sizes = "1, 4, 7, 14, 23, 25, 36, 45" if rng is None else ", ".join(
+        str(s) for s in sorted(rng.sample(range(1, 51), 8))
+    )
+    return (
+        "SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey) "
+        "FROM partsupp, part "
+        "WHERE p_partkey = ps_partkey "
+        f"AND p_brand != '{brand}' AND p_type NOT LIKE 'MEDIUM POLISHED%' "
+        f"AND p_size IN ({sizes}) "
+        "GROUP BY p_brand, p_type, p_size "
+        "ORDER BY COUNT(DISTINCT ps_suppkey) DESC, p_brand, p_type, p_size"
+    )
+
+
+def q17(rng: Rng = None) -> str:
+    # The avg-quantity correlated subquery becomes a constant bound.
+    brand = _choice(rng, _BRANDS, 5)
+    container = _choice(rng, _CONTAINERS, 3)
+    return (
+        "SELECT SUM(l_extendedprice) / 7 "
+        "FROM lineitem, part "
+        "WHERE p_partkey = l_partkey "
+        f"AND p_brand = '{brand}' AND p_container = '{container}' "
+        "AND l_quantity < 3"
+    )
+
+
+def q18(rng: Rng = None) -> str:
+    quantity = 300 if rng is None else rng.randint(300, 315)
+    return (
+        "SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, "
+        "SUM(l_quantity) "
+        "FROM customer, orders, lineitem "
+        "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+        "GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice "
+        f"HAVING SUM(l_quantity) > {quantity} "
+        "ORDER BY o_totalprice DESC LIMIT 100"
+    )
+
+
+def q19(rng: Rng = None) -> str:
+    # The canonical complex AND-OR showcase; kept structurally faithful.
+    b1 = _choice(rng, _BRANDS, 11)
+    b2 = _choice(rng, _BRANDS, 17)
+    b3 = _choice(rng, _BRANDS, 23)
+    q1_, q2_, q3_ = (1, 10, 20) if rng is None else (
+        rng.randint(1, 10), rng.randint(10, 20), rng.randint(20, 30)
+    )
+    return (
+        "SELECT SUM(l_extendedprice * (1 - l_discount)) "
+        "FROM lineitem, part "
+        "WHERE p_partkey = l_partkey "
+        "AND l_shipinstruct = 'DELIVER IN PERSON' "
+        "AND l_shipmode IN ('AIR', 'REG AIR') "
+        f"AND ((p_brand = '{b1}' "
+        "AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') "
+        f"AND l_quantity BETWEEN {q1_} AND {q1_ + 10} "
+        "AND p_size BETWEEN 1 AND 5) "
+        f"OR (p_brand = '{b2}' "
+        "AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK') "
+        f"AND l_quantity BETWEEN {q2_} AND {q2_ + 10} "
+        "AND p_size BETWEEN 1 AND 10) "
+        f"OR (p_brand = '{b3}' "
+        "AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG') "
+        f"AND l_quantity BETWEEN {q3_} AND {q3_ + 10} "
+        "AND p_size BETWEEN 1 AND 15))"
+    )
+
+
+def q20(rng: Rng = None) -> str:
+    # Nested IN-subqueries flattened into the partsupp join.
+    nation = _choice(rng, _NATIONS, 4)
+    fragment = "forest" if rng is None else rng.choice(
+        ["forest", "azure", "chocolate", "salmon"]
+    )
+    qty = 100 if rng is None else rng.randint(50, 500)
+    return (
+        "SELECT s_name, s_address "
+        "FROM supplier, nation, partsupp, part "
+        "WHERE s_nationkey = n_nationkey AND ps_suppkey = s_suppkey "
+        "AND ps_partkey = p_partkey "
+        f"AND n_name = '{nation}' AND p_name LIKE '{fragment}%' "
+        f"AND ps_availqty > {qty} "
+        "ORDER BY s_name"
+    )
+
+
+def q21(rng: Rng = None) -> str:
+    # EXISTS / NOT EXISTS on sibling lineitems dropped; the waiting-orders
+    # join core is preserved (the query the paper calls out in Fig 5 --
+    # AIM picks a covering index here).
+    nation = _choice(rng, _NATIONS, 5)
+    return (
+        "SELECT s_name, COUNT(*) "
+        "FROM supplier, lineitem l1, orders, nation "
+        "WHERE s_suppkey = l1.l_suppkey AND o_orderkey = l1.l_orderkey "
+        "AND o_orderstatus = 'F' AND l1.l_receiptdate > l1.l_commitdate "
+        f"AND s_nationkey = n_nationkey AND n_name = '{nation}' "
+        "GROUP BY s_name ORDER BY COUNT(*) DESC, s_name LIMIT 100"
+    )
+
+
+def q22(rng: Rng = None) -> str:
+    # substring(c_phone, 1, 2) IN (...) becomes a LIKE prefix disjunction;
+    # the NOT EXISTS(orders) anti-join is dropped.
+    prefixes = ["13", "31", "23", "29", "30", "18", "17"] if rng is None else [
+        str(p) for p in rng.sample(range(10, 35), 7)
+    ]
+    likes = " OR ".join(f"c_phone LIKE '{p}%'" for p in prefixes)
+    balance = 0.0 if rng is None else round(rng.uniform(0.0, 500.0), 2)
+    return (
+        "SELECT c_custkey, c_acctbal "
+        f"FROM customer WHERE c_acctbal > {balance} AND ({likes}) "
+        "ORDER BY c_acctbal DESC LIMIT 100"
+    )
+
+
+#: All templates in order; index 0 is Q1.
+TEMPLATES: list[Callable[[Rng], str]] = [
+    q1, q2, q3, q4, q5, q6, q7, q8, q9, q10, q11,
+    q12, q13, q14, q15, q16, q17, q18, q19, q20, q21, q22,
+]

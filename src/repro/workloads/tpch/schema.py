@@ -1,0 +1,232 @@
+"""TPC-H schema and scale-factor-parameterized statistics.
+
+Two ways to get a TPC-H database:
+
+* :func:`tpch_database` -- stats-only, any scale factor.  Row counts and
+  column NDVs follow the TPC-H specification; this is what the estimated
+  cost experiments (Fig 4a/b, Fig 5) run on, mirroring the paper's use of
+  HypoPG (optimizer statistics, no data).
+* :func:`repro.workloads.tpch.datagen.load_tpch` -- materialized rows at
+  small scale factors for executor-backed integration tests.
+
+Dates are represented as integer day offsets from 1992-01-01 (the
+substitution is documented in DESIGN.md); :func:`day` converts calendar
+dates for query constants.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from ...catalog import Column, Table, char, varchar, BIGINT, DATE, DECIMAL, INT
+from ...engine import Database, INNODB, CostParams
+from ...stats import SyntheticColumn, synthesize_table
+
+_EPOCH = datetime.date(1992, 1, 1)
+#: Highest shipping date in TPC-H data (1998-12-01 + receipt lag).
+MAX_DAY = (datetime.date(1998, 12, 31) - _EPOCH).days
+
+
+def day(year: int, month: int = 1, dom: int = 1) -> int:
+    """Calendar date -> integer day offset used by the schema."""
+    return (datetime.date(year, month, dom) - _EPOCH).days
+
+
+def row_counts(scale_factor: float) -> dict[str, int]:
+    """TPC-H table cardinalities at a scale factor."""
+    sf = scale_factor
+    return {
+        "region": 5,
+        "nation": 25,
+        "supplier": int(10_000 * sf),
+        "customer": int(150_000 * sf),
+        "part": int(200_000 * sf),
+        "partsupp": int(800_000 * sf),
+        "orders": int(1_500_000 * sf),
+        "lineitem": int(6_000_000 * sf),
+    }
+
+
+def tpch_tables() -> list[Table]:
+    """The eight TPC-H tables."""
+    return [
+        Table("region", [
+            Column("r_regionkey", INT),
+            Column("r_name", char(12)),
+            Column("r_comment", varchar(60)),
+        ], ("r_regionkey",)),
+        Table("nation", [
+            Column("n_nationkey", INT),
+            Column("n_name", char(15)),
+            Column("n_regionkey", INT),
+            Column("n_comment", varchar(70)),
+        ], ("n_nationkey",)),
+        Table("supplier", [
+            Column("s_suppkey", INT),
+            Column("s_name", char(18)),
+            Column("s_address", varchar(20)),
+            Column("s_nationkey", INT),
+            Column("s_phone", char(15)),
+            Column("s_acctbal", DECIMAL),
+            Column("s_comment", varchar(60)),
+        ], ("s_suppkey",)),
+        Table("customer", [
+            Column("c_custkey", INT),
+            Column("c_name", varchar(18)),
+            Column("c_address", varchar(20)),
+            Column("c_nationkey", INT),
+            Column("c_phone", char(15)),
+            Column("c_acctbal", DECIMAL),
+            Column("c_mktsegment", char(10)),
+            Column("c_comment", varchar(70)),
+        ], ("c_custkey",)),
+        Table("part", [
+            Column("p_partkey", INT),
+            Column("p_name", varchar(35)),
+            Column("p_mfgr", char(25)),
+            Column("p_brand", char(10)),
+            Column("p_type", varchar(25)),
+            Column("p_size", INT),
+            Column("p_container", char(10)),
+            Column("p_retailprice", DECIMAL),
+            Column("p_comment", varchar(15)),
+        ], ("p_partkey",)),
+        Table("partsupp", [
+            Column("ps_partkey", INT),
+            Column("ps_suppkey", INT),
+            Column("ps_availqty", INT),
+            Column("ps_supplycost", DECIMAL),
+            Column("ps_comment", varchar(120)),
+        ], ("ps_partkey", "ps_suppkey")),
+        Table("orders", [
+            Column("o_orderkey", BIGINT),
+            Column("o_custkey", INT),
+            Column("o_orderstatus", char(1)),
+            Column("o_totalprice", DECIMAL),
+            Column("o_orderdate", DATE),
+            Column("o_orderpriority", char(15)),
+            Column("o_clerk", char(15)),
+            Column("o_shippriority", INT),
+            Column("o_comment", varchar(50)),
+        ], ("o_orderkey",)),
+        Table("lineitem", [
+            Column("l_orderkey", BIGINT),
+            Column("l_partkey", INT),
+            Column("l_suppkey", INT),
+            Column("l_linenumber", INT),
+            Column("l_quantity", DECIMAL),
+            Column("l_extendedprice", DECIMAL),
+            Column("l_discount", DECIMAL),
+            Column("l_tax", DECIMAL),
+            Column("l_returnflag", char(1)),
+            Column("l_linestatus", char(1)),
+            Column("l_shipdate", DATE),
+            Column("l_commitdate", DATE),
+            Column("l_receiptdate", DATE),
+            Column("l_shipinstruct", char(25)),
+            Column("l_shipmode", char(10)),
+            Column("l_comment", varchar(30)),
+        ], ("l_orderkey", "l_linenumber")),
+    ]
+
+
+def _column_specs(counts: dict[str, int]) -> dict[str, dict[str, SyntheticColumn]]:
+    """Per-table synthetic stats specs matching TPC-H distributions."""
+    u = SyntheticColumn   # shorthand
+    return {
+        "region": {
+            "r_regionkey": u(ndv=-1, lo=0, hi=4),
+            "r_name": u(ndv=5),
+            "r_comment": u(ndv=5),
+        },
+        "nation": {
+            "n_nationkey": u(ndv=-1, lo=0, hi=24),
+            "n_name": u(ndv=25),
+            "n_regionkey": u(ndv=5, lo=0, hi=4),
+            "n_comment": u(ndv=25),
+        },
+        "supplier": {
+            "s_suppkey": u(ndv=-1, lo=1, hi=counts["supplier"]),
+            "s_name": u(ndv=-1),
+            "s_address": u(ndv=-1),
+            "s_nationkey": u(ndv=25, lo=0, hi=24),
+            "s_phone": u(ndv=-1),
+            "s_acctbal": u(ndv=counts["supplier"] // 2, lo=-999, hi=9999),
+            "s_comment": u(ndv=-1),
+        },
+        "customer": {
+            "c_custkey": u(ndv=-1, lo=1, hi=counts["customer"]),
+            "c_name": u(ndv=-1),
+            "c_address": u(ndv=-1),
+            "c_nationkey": u(ndv=25, lo=0, hi=24),
+            "c_phone": u(ndv=-1),
+            "c_acctbal": u(ndv=counts["customer"] // 2, lo=-999, hi=9999),
+            "c_mktsegment": u(ndv=5),
+            "c_comment": u(ndv=-1),
+        },
+        "part": {
+            "p_partkey": u(ndv=-1, lo=1, hi=counts["part"]),
+            "p_name": u(ndv=-1),
+            "p_mfgr": u(ndv=5),
+            "p_brand": u(ndv=25),
+            "p_type": u(ndv=150),
+            "p_size": u(ndv=50, lo=1, hi=50),
+            "p_container": u(ndv=40),
+            "p_retailprice": u(ndv=counts["part"] // 4, lo=900, hi=2100),
+            "p_comment": u(ndv=counts["part"] // 2),
+        },
+        "partsupp": {
+            "ps_partkey": u(ndv=counts["part"], lo=1, hi=counts["part"]),
+            "ps_suppkey": u(ndv=counts["supplier"], lo=1, hi=counts["supplier"]),
+            "ps_availqty": u(ndv=9999, lo=1, hi=9999),
+            "ps_supplycost": u(ndv=99_901, lo=1, hi=1000),
+            "ps_comment": u(ndv=-1),
+        },
+        "orders": {
+            "o_orderkey": u(ndv=-1, lo=1, hi=counts["orders"] * 4),
+            "o_custkey": u(ndv=max(1, counts["customer"] * 2 // 3),
+                           lo=1, hi=counts["customer"]),
+            "o_orderstatus": u(ndv=3),
+            "o_totalprice": u(ndv=counts["orders"] // 2, lo=800, hi=560_000),
+            "o_orderdate": u(ndv=2_400, lo=0, hi=MAX_DAY - 151),
+            "o_orderpriority": u(ndv=5),
+            "o_clerk": u(ndv=max(1, counts["orders"] // 1500)),
+            "o_shippriority": u(ndv=1, lo=0, hi=0),
+            "o_comment": u(ndv=-1),
+        },
+        "lineitem": {
+            "l_orderkey": u(ndv=counts["orders"], lo=1, hi=counts["orders"] * 4),
+            "l_partkey": u(ndv=counts["part"], lo=1, hi=counts["part"]),
+            "l_suppkey": u(ndv=counts["supplier"], lo=1, hi=counts["supplier"]),
+            "l_linenumber": u(ndv=7, lo=1, hi=7),
+            "l_quantity": u(ndv=50, lo=1, hi=50),
+            "l_extendedprice": u(ndv=counts["lineitem"] // 4, lo=900, hi=105_000),
+            "l_discount": u(ndv=11, lo=0.0, hi=0.1),
+            "l_tax": u(ndv=9, lo=0.0, hi=0.08),
+            "l_returnflag": u(ndv=3),
+            "l_linestatus": u(ndv=2),
+            "l_shipdate": u(ndv=2_526, lo=1, hi=MAX_DAY),
+            "l_commitdate": u(ndv=2_466, lo=30, hi=MAX_DAY),
+            "l_receiptdate": u(ndv=2_554, lo=2, hi=MAX_DAY),
+            "l_shipinstruct": u(ndv=4),
+            "l_shipmode": u(ndv=7),
+            "l_comment": u(ndv=-1),
+        },
+    }
+
+
+def tpch_database(
+    scale_factor: float = 1.0,
+    params: CostParams = INNODB,
+    name: str = "tpch",
+) -> Database:
+    """A stats-only TPC-H database at the given scale factor."""
+    db = Database.from_tables(
+        tpch_tables(), params=params, with_storage=False,
+        name=f"{name}-sf{scale_factor:g}",
+    )
+    counts = row_counts(scale_factor)
+    specs = _column_specs(counts)
+    for table, spec in specs.items():
+        db.set_stats(table, synthesize_table(counts[table], spec))
+    return db

@@ -1,0 +1,83 @@
+"""SortedIndex (B-tree emulation) tests."""
+
+from repro.engine.btree import SortedIndex, wrap_key
+
+
+def build(entries):
+    idx = SortedIndex(2)
+    for key, rid in entries:
+        idx.insert(key, rid)
+    return idx
+
+
+def test_insert_and_len():
+    idx = build([((1, "a"), 0), ((2, "b"), 1)])
+    assert len(idx) == 2
+
+
+def test_delete_existing_and_missing():
+    idx = build([((1, "a"), 0)])
+    assert idx.delete((1, "a"), 0) is True
+    assert idx.delete((1, "a"), 0) is False
+    assert len(idx) == 0
+
+
+def test_scan_all_in_key_order():
+    idx = build([((3,), 0), ((1,), 1), ((2,), 2)])
+    rids = [rid for _k, rid in idx.scan_all()]
+    assert rids == [1, 2, 0]
+
+
+def test_scan_all_reverse():
+    idx = build([((1,), 1), ((2,), 2)])
+    rids = [rid for _k, rid in idx.scan_all(reverse=True)]
+    assert rids == [2, 1]
+
+
+def test_scan_prefix_equality():
+    idx = build([((1, 10), 0), ((1, 20), 1), ((2, 10), 2)])
+    rids = [rid for _k, rid in idx.scan_prefix((1,))]
+    assert rids == [0, 1]
+
+
+def test_scan_prefix_with_range_bounds():
+    idx = build([((1, i), i) for i in range(10)])
+    rids = [rid for _k, rid in idx.scan_prefix((1,), low=3, high=6)]
+    assert rids == [3, 4, 5, 6]
+    rids = [
+        rid for _k, rid in idx.scan_prefix(
+            (1,), low=3, high=6, low_inclusive=False, high_inclusive=False
+        )
+    ]
+    assert rids == [4, 5]
+
+
+def test_scan_open_low_bound():
+    idx = build([((1, i), i) for i in range(5)])
+    rids = [rid for _k, rid in idx.scan_prefix((1,), high=2)]
+    assert rids == [0, 1, 2]
+
+
+def test_nulls_sort_first():
+    idx = build([((None,), 0), ((1,), 1), (("x",), 2)])
+    rids = [rid for _k, rid in idx.scan_all()]
+    assert rids == [0, 1, 2]   # NULL < number < string
+
+
+def test_duplicate_keys_tie_break_by_rowid():
+    idx = build([((1,), 5), ((1,), 2), ((1,), 9)])
+    rids = [rid for _k, rid in idx.scan_prefix((1,))]
+    assert rids == [2, 5, 9]
+
+
+def test_wrap_key_equality_and_ordering():
+    assert wrap_key((1, "a")) == wrap_key((1, "a"))
+    assert wrap_key((None,)) < wrap_key((0,))
+    assert wrap_key((0,)) < wrap_key(("",))
+    assert wrap_key((True,)) == wrap_key((1,))
+
+
+def test_clear():
+    idx = build([((1,), 0)])
+    idx.clear()
+    assert len(idx) == 0

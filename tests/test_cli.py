@@ -1,0 +1,130 @@
+"""CLI tests."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_size, parse_workload_file
+
+SCHEMA_SQL = """
+CREATE TABLE orders (
+    oid BIGINT NOT NULL,
+    user_id BIGINT,
+    amount INT,
+    status VARCHAR(16),
+    created TIMESTAMP,
+    PRIMARY KEY (oid)
+);
+CREATE TABLE users (
+    id BIGINT NOT NULL,
+    city VARCHAR(24),
+    name VARCHAR(40),
+    PRIMARY KEY (id)
+);
+"""
+
+WORKLOAD_SQL = """
+-- the hot dashboard query
+-- weight: 120
+SELECT amount FROM orders WHERE status = 'paid' AND created > 3000;
+
+-- weight: 40
+SELECT u.name, o.amount FROM users u, orders o
+WHERE u.id = o.user_id AND u.city = 'nyc';
+
+UPDATE orders SET status = 'done' WHERE oid = 5;
+"""
+
+
+@pytest.fixture()
+def files(tmp_path):
+    schema = tmp_path / "schema.sql"
+    schema.write_text(SCHEMA_SQL)
+    workload = tmp_path / "workload.sql"
+    workload.write_text(WORKLOAD_SQL)
+    return schema, workload
+
+
+def test_parse_size():
+    assert parse_size("1024") == 1024
+    assert parse_size("2KiB") == 2048
+    assert parse_size("1.5 MB") == int(1.5 * (1 << 20))
+    assert parse_size("10GiB") == 10 << 30
+    with pytest.raises(Exception):
+        parse_size("two bananas")
+
+
+def test_parse_workload_file_weights_and_splitting():
+    workload = parse_workload_file(WORKLOAD_SQL)
+    assert len(workload) == 3
+    assert workload.queries[0].weight == 120.0
+    assert workload.queries[1].weight == 40.0
+    assert workload.queries[2].weight == 1.0
+    assert workload.queries[2].is_dml
+
+
+def test_cli_text_output(files, capsys):
+    schema, workload = files
+    rc = main([
+        "--schema", str(schema), "--workload", str(workload),
+        "--budget", "512MiB", "--rows", "orders=500000",
+        "--rows", "users=50000",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "AIM recommendation" in out
+    assert "CREATE INDEX" in out
+    assert "orders" in out
+
+
+def test_cli_json_output(files, capsys):
+    schema, workload = files
+    rc = main([
+        "--schema", str(schema), "--workload", str(workload),
+        "--budget", "512MiB", "--format", "json",
+    ])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["indexes"]
+    assert payload["cost_after"] < payload["cost_before"]
+    assert 0 < payload["improvement"] <= 1
+
+
+def test_cli_other_algorithm(files, capsys):
+    schema, workload = files
+    rc = main([
+        "--schema", str(schema), "--workload", str(workload),
+        "--algorithm", "dexter", "--format", "json",
+    ])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["algorithm"] == "dexter"
+    assert payload["relative_cost"] <= 1.0
+
+
+def test_cli_rejects_bad_rows(files, capsys):
+    schema, workload = files
+    rc = main([
+        "--schema", str(schema), "--workload", str(workload),
+        "--rows", "nonsense",
+    ])
+    assert rc == 2
+
+
+def test_cli_rejects_empty_workload(files, tmp_path):
+    schema, _ = files
+    empty = tmp_path / "empty.sql"
+    empty.write_text("-- nothing here\n")
+    rc = main(["--schema", str(schema), "--workload", str(empty)])
+    assert rc == 2
+
+
+def test_cli_engine_profiles(files, capsys):
+    schema, workload = files
+    for engine in ("innodb", "rocksdb", "hdd"):
+        rc = main([
+            "--schema", str(schema), "--workload", str(workload),
+            "--engine", engine, "--format", "json",
+        ])
+        assert rc == 0
+        json.loads(capsys.readouterr().out)

@@ -1,0 +1,25 @@
+"""The bundled examples/cli_files/ pair stays valid CLI input."""
+
+import json
+import pathlib
+
+from repro.cli import main
+
+FILES = pathlib.Path(__file__).parent.parent / "examples" / "cli_files"
+
+
+def test_bundled_cli_files_produce_a_recommendation(capsys):
+    rc = main([
+        "--schema", str(FILES / "schema.sql"),
+        "--workload", str(FILES / "workload.sql"),
+        "--budget", "1GiB",
+        "--rows", "orders=2000000",
+        "--rows", "users=100000",
+        "--format", "json",
+    ])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["indexes"], "the bundled workload must be tunable"
+    assert payload["improvement"] > 0.3
+    tables = {idx["table"] for idx in payload["indexes"]}
+    assert "orders" in tables

@@ -1,0 +1,97 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.sqlparser.lexer import LexError, tokenize
+from repro.sqlparser.tokens import TokenKind
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)[:-1]]
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql)[:-1]]
+
+
+def test_keywords_are_canonicalized_upper():
+    assert texts("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+    assert all(k is TokenKind.KEYWORD for k in kinds("select from where"))
+
+
+def test_identifiers_keep_case():
+    tokens = tokenize("lineItem l_shipdate")
+    assert tokens[0].text == "lineItem"
+    assert tokens[1].text == "l_shipdate"
+    assert tokens[0].kind is TokenKind.IDENT
+
+
+def test_integer_and_float_numbers():
+    assert texts("1 42 3.14 .5 1e6 2.5E-3") == ["1", "42", "3.14", ".5", "1e6", "2.5E-3"]
+    assert all(k is TokenKind.NUMBER for k in kinds("1 3.14 1e6"))
+
+
+def test_single_quoted_string_with_escape():
+    tokens = tokenize("'it''s'")
+    assert tokens[0].kind is TokenKind.STRING
+    assert tokens[0].text == "it's"
+
+
+def test_double_quoted_string():
+    assert tokenize('"hello"')[0].text == "hello"
+
+
+def test_backquoted_identifier():
+    token = tokenize("`select`")[0]
+    assert token.kind is TokenKind.IDENT
+    assert token.text == "select"
+
+
+def test_param_placeholder():
+    assert tokenize("?")[0].kind is TokenKind.PARAM
+
+
+def test_multi_char_operators_lex_greedily():
+    assert texts("<=> <> <= >= != ||") == ["<=>", "<>", "<=", ">=", "!=", "||"]
+
+
+def test_single_char_symbols():
+    assert texts("( ) , . ; * + - / %") == list("(),.;*+-/%")
+
+
+def test_line_comment_skipped():
+    assert texts("SELECT -- comment\n 1") == ["SELECT", "1"]
+
+
+def test_block_comment_skipped():
+    assert texts("SELECT /* anything * here */ 1") == ["SELECT", "1"]
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize("'oops")
+
+
+def test_unterminated_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("/* never closed")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("SELECT @")
+
+
+def test_eof_token_always_present():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_token_helpers():
+    token = tokenize("SELECT")[0]
+    assert token.is_keyword("SELECT", "FROM")
+    assert not token.is_keyword("FROM")
+    sym = tokenize("(")[0]
+    assert sym.is_symbol("(", ")")
+    assert not sym.is_symbol(")")

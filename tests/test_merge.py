@@ -1,0 +1,110 @@
+"""Partial order merging tests (paper Sec. III-E)."""
+
+from repro.core import (
+    PartialOrder,
+    merge_by_table,
+    merge_candidates_pairwise,
+    merge_partial_orders,
+)
+
+
+def po(*groups, table="t"):
+    return PartialOrder.build(table, groups)
+
+
+def test_paper_example():
+    """merge(<{col2,col3}>, <{col1,col2,col3}>) = <{col2,col3},{col1}>."""
+    p = po(["col2", "col3"])
+    q = po(["col1", "col2", "col3"])
+    merged = merge_candidates_pairwise(p, q)
+    assert merged == po(["col2", "col3"], ["col1"])
+
+
+def test_merge_requires_subset():
+    p = po(["a", "x"])
+    q = po(["a", "b"])
+    assert merge_candidates_pairwise(p, q) is None
+
+
+def test_merge_rejects_order_conflict():
+    """C_merge: no a,b in P with a ≺_P b and b ≺_Q a."""
+    p = po(["a"], ["b"])          # a before b
+    q = po(["b"], ["a"], ["c"])   # b before a
+    assert merge_candidates_pairwise(p, q) is None
+
+
+def test_merge_rejects_foreign_column_before_p():
+    """Refinement guard: Q may not demand a Q\\P column before P."""
+    p = po(["b"])
+    q = po(["a"], ["b"])          # a (not in P) precedes b in Q
+    assert merge_candidates_pairwise(p, q) is None
+
+
+def test_merge_refines_p_partition_by_q():
+    p = po(["a", "b"])            # unordered pair
+    q = po(["a"], ["b"], ["c"])   # a strictly before b
+    merged = merge_candidates_pairwise(p, q)
+    assert merged == po(["a"], ["b"], ["c"])
+
+
+def test_merge_preserves_q_tail_order():
+    p = po(["a"])
+    q = po(["a"], ["b"], ["c"])
+    merged = merge_candidates_pairwise(p, q)
+    assert merged == po(["a"], ["b"], ["c"])
+
+
+def test_merge_across_tables_fails():
+    assert merge_candidates_pairwise(po(["a"]), po(["a"], table="u")) is None
+
+
+def test_self_merge_is_identity():
+    p = po(["a", "b"], ["c"])
+    assert merge_candidates_pairwise(p, p) == p
+
+
+def test_merged_result_is_linear_extension_superset():
+    """Every linear extension of the merged order satisfies both inputs
+    as prefixes -- the property that makes the merged index serve both
+    source queries."""
+    p = po(["col2", "col3"])
+    q = po(["col1", "col2", "col3"])
+    merged = merge_candidates_pairwise(p, q)
+    for total in merged.total_orders():
+        assert q.satisfied_by(total)
+        assert total[: p.width] in set(p.total_orders())
+
+
+def test_fixpoint_includes_originals_and_merges():
+    orders = {po(["a", "b"]), po(["a", "b", "c"])}
+    result = merge_partial_orders(orders)
+    assert orders <= result
+    assert po(["a", "b"], ["c"]) in result
+
+
+def test_fixpoint_terminates_on_unrelated_orders():
+    orders = {po(["a"]), po(["b"], table="u")}
+    result = merge_partial_orders(orders)
+    assert result == orders
+
+
+def test_fixpoint_chain_merges_transitively():
+    orders = {po(["a"]), po(["a", "b"]), po(["a", "b", "c"])}
+    result = merge_partial_orders(orders)
+    # <{a},{b},{c}> is reachable via two merges.
+    assert po(["a"], ["b"], ["c"]) in result
+
+
+def test_fixpoint_cap_stops_expansion():
+    orders = {po([f"c{i}"]) for i in range(6)} | {
+        po([f"c{i}" for i in range(6)])
+    }
+    result = merge_partial_orders(orders, max_orders=10)
+    assert len(result) >= 7
+
+
+def test_merge_by_table_partitions_work():
+    orders = {po(["a"]), po(["a", "b"]), po(["x"], table="u"), po(["x", "y"], table="u")}
+    result = merge_by_table(orders)
+    assert po(["a"], ["b"]) in result
+    assert po(["x"], ["y"], table="u") in result

@@ -1,0 +1,109 @@
+"""Randomized cross-validation: the executor agrees with brute force,
+and plans with indexes never change results.
+
+These are the repository's strongest correctness guards: for a corpus of
+randomized single-table and join queries, (a) executor results equal a
+Python brute-force evaluation, and (b) adding indexes never changes the
+result set, only the metrics.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog import Index
+from repro.executor import Executor
+
+OPS = ["=", "<", ">", "<=", ">="]
+
+
+def random_condition(rng: random.Random) -> tuple[str, callable]:
+    """A random orders-table predicate as (sql, python_check)."""
+    kind = rng.randrange(5)
+    if kind == 0:
+        v = rng.randint(0, 999)
+        return (f"amount = {v}", lambda o: o["amount"] == v)
+    if kind == 1:
+        v = rng.randint(0, 1_000_000)
+        op = rng.choice(OPS)
+        checks = {
+            "=": lambda o: o["created"] == v,
+            "<": lambda o: o["created"] < v,
+            ">": lambda o: o["created"] > v,
+            "<=": lambda o: o["created"] <= v,
+            ">=": lambda o: o["created"] >= v,
+        }
+        return (f"created {op} {v}", checks[op])
+    if kind == 2:
+        vals = sorted(rng.sample(["new", "paid", "done"], rng.randint(1, 3)))
+        quoted = ", ".join(f"'{v}'" for v in vals)
+        return (f"status IN ({quoted})", lambda o: o["status"] in vals)
+    if kind == 3:
+        lo = rng.randint(0, 800)
+        hi = lo + rng.randint(0, 200)
+        return (
+            f"amount BETWEEN {lo} AND {hi}",
+            lambda o: lo <= o["amount"] <= hi,
+        )
+    v = rng.randint(0, 499)
+    return (f"user_id = {v}", lambda o: o["user_id"] == v)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_single_table_queries_match_brute_force(db, order_rows, seed):
+    rng = random.Random(seed)
+    executor = Executor(db)
+    conds = [random_condition(rng) for _ in range(rng.randint(1, 3))]
+    connector = " AND " if rng.random() < 0.7 else " OR "
+    where = connector.join(sql for sql, _ in conds)
+    sql = f"SELECT oid FROM orders WHERE {where}"
+
+    result = executor.execute(sql)
+    if connector == " AND ":
+        expected = {
+            o["oid"] for o in order_rows if all(c(o) for _s, c in conds)
+        }
+    else:
+        expected = {
+            o["oid"] for o in order_rows if any(c(o) for _s, c in conds)
+        }
+    assert {row[0] for row in result.rows} == expected
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_indexes_never_change_results(db, seed):
+    rng = random.Random(100 + seed)
+    executor = Executor(db)
+    conds = [random_condition(rng) for _ in range(2)]
+    sql = (
+        "SELECT u.name, o.amount FROM users u, orders o "
+        f"WHERE u.id = o.user_id AND {conds[0][0]} AND u.age > {rng.randint(18, 70)}"
+    )
+    before = sorted(executor.execute(sql).rows)
+    created = [
+        db.create_index(Index("orders", ("user_id", "status"))),
+        db.create_index(Index("orders", ("created", "amount"))),
+        db.create_index(Index("users", ("age", "name"))),
+        db.create_index(Index("orders", ("amount",))),
+    ]
+    after = sorted(executor.execute(sql).rows)
+    assert before == after
+    for index in created:
+        db.drop_index(index)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_estimated_rows_out_within_order_of_magnitude(db, order_rows, seed):
+    """Cardinality estimates stay within ~10x of truth for sane predicates
+    (the bound that keeps join orders reasonable)."""
+    from repro.optimizer import Optimizer
+
+    rng = random.Random(200 + seed)
+    sql_cond, check = random_condition(rng)
+    sql = f"SELECT oid FROM orders WHERE {sql_cond}"
+    plan = Optimizer(db).explain(sql)
+    actual = sum(1 for o in order_rows if check(o))
+    if actual >= 30:   # below that, estimation noise dominates
+        assert actual / 10 <= plan.rows_out <= actual * 10

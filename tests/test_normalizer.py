@@ -1,0 +1,58 @@
+"""Query normalization tests (paper Sec. III-A1)."""
+
+from repro.sqlparser import fingerprint, normalize_sql
+
+
+def test_paper_example():
+    sql = "SELECT id, name FROM students WHERE score > 42"
+    assert normalize_sql(sql) == "SELECT id, name FROM students WHERE score > ?"
+
+
+def test_same_structure_same_normal_form():
+    a = normalize_sql("SELECT a FROM t WHERE x = 1 AND y = 'p'")
+    b = normalize_sql("SELECT a FROM t WHERE x = 99 AND y = 'q'")
+    assert a == b
+
+
+def test_in_lists_collapse_regardless_of_length():
+    a = normalize_sql("SELECT a FROM t WHERE x IN (1, 2)")
+    b = normalize_sql("SELECT a FROM t WHERE x IN (1, 2, 3, 4)")
+    assert a == b
+    assert "IN (?)" in a
+
+
+def test_insert_rows_collapse():
+    a = normalize_sql("INSERT INTO t (a, b) VALUES (1, 2)")
+    b = normalize_sql("INSERT INTO t (a, b) VALUES (3, 4), (5, 6)")
+    assert a == b
+
+
+def test_update_assignments_parameterized():
+    normalized = normalize_sql("UPDATE t SET a = 5 WHERE id = 3")
+    assert normalized == "UPDATE t SET a = ? WHERE id = ?"
+
+
+def test_delete_parameterized():
+    assert (
+        normalize_sql("DELETE FROM t WHERE id = 3")
+        == "DELETE FROM t WHERE id = ?"
+    )
+
+
+def test_normalization_is_idempotent():
+    once = normalize_sql("SELECT a FROM t WHERE x = 1")
+    assert normalize_sql(once) == once
+
+
+def test_fingerprint_stable_and_distinct():
+    f1 = fingerprint("SELECT a FROM t WHERE x = 1")
+    f2 = fingerprint("SELECT a FROM t WHERE x = 2")
+    f3 = fingerprint("SELECT b FROM t WHERE x = 1")
+    assert f1 == f2
+    assert f1 != f3
+    assert len(f1) == 16
+
+
+def test_between_bounds_parameterized():
+    normalized = normalize_sql("SELECT a FROM t WHERE x BETWEEN 1 AND 9")
+    assert normalized.count("?") == 2

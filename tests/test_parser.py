@@ -1,0 +1,213 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.sqlparser import ast, parse, parse_select
+from repro.sqlparser.parser import ParseError
+
+
+def test_minimal_select():
+    stmt = parse_select("SELECT a FROM t")
+    assert stmt.tables == (ast.TableRef("t"),)
+    assert stmt.items[0].expr == ast.ColumnRef(None, "a")
+
+
+def test_select_star():
+    stmt = parse_select("SELECT * FROM t")
+    assert isinstance(stmt.items[0].expr, ast.Star)
+
+
+def test_qualified_star():
+    stmt = parse_select("SELECT t.* FROM t")
+    assert stmt.items[0].expr == ast.Star("t")
+
+
+def test_column_alias_with_and_without_as():
+    stmt = parse_select("SELECT a AS x, b y FROM t")
+    assert stmt.items[0].alias == "x"
+    assert stmt.items[1].alias == "y"
+
+
+def test_table_alias():
+    stmt = parse_select("SELECT u.a FROM users u")
+    assert stmt.tables[0] == ast.TableRef("users", "u")
+    assert stmt.tables[0].binding == "u"
+
+
+def test_comma_join_and_explicit_join():
+    stmt = parse_select(
+        "SELECT a FROM t1, t2 INNER JOIN t3 ON t2.x = t3.y"
+    )
+    assert len(stmt.tables) == 2
+    assert len(stmt.joins) == 1
+    assert stmt.joins[0].kind == "INNER"
+    assert isinstance(stmt.joins[0].condition, ast.Comparison)
+
+
+def test_left_join_outer_optional():
+    stmt = parse_select("SELECT a FROM t1 LEFT OUTER JOIN t2 ON t1.x = t2.y")
+    assert stmt.joins[0].kind == "LEFT"
+
+
+def test_straight_join():
+    stmt = parse_select("SELECT a FROM t1 STRAIGHT_JOIN t2 ON t1.x = t2.y")
+    assert stmt.joins[0].kind == "STRAIGHT"
+
+
+def test_where_precedence_and_over_or():
+    stmt = parse_select("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+    assert isinstance(stmt.where, ast.Or)
+    assert isinstance(stmt.where.items[1], ast.And)
+
+
+def test_not_binds_tighter_than_and():
+    stmt = parse_select("SELECT a FROM t WHERE NOT x = 1 AND y = 2")
+    assert isinstance(stmt.where, ast.And)
+    assert isinstance(stmt.where.items[0], ast.Not)
+
+
+def test_parenthesized_or_inside_and():
+    stmt = parse_select("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3")
+    assert isinstance(stmt.where, ast.And)
+    assert isinstance(stmt.where.items[0], ast.Or)
+
+
+def test_in_list():
+    stmt = parse_select("SELECT a FROM t WHERE x IN (1, 2, 3)")
+    assert isinstance(stmt.where, ast.InList)
+    assert len(stmt.where.items) == 3
+
+
+def test_not_in():
+    stmt = parse_select("SELECT a FROM t WHERE x NOT IN (1)")
+    assert stmt.where.negated
+
+
+def test_between_and_not_between():
+    stmt = parse_select("SELECT a FROM t WHERE x BETWEEN 1 AND 10")
+    assert isinstance(stmt.where, ast.Between)
+    stmt2 = parse_select("SELECT a FROM t WHERE x NOT BETWEEN 1 AND 10")
+    assert stmt2.where.negated
+
+
+def test_like_and_not_like():
+    stmt = parse_select("SELECT a FROM t WHERE x LIKE 'p%'")
+    assert isinstance(stmt.where, ast.Comparison)
+    assert stmt.where.op == "LIKE"
+    stmt2 = parse_select("SELECT a FROM t WHERE x NOT LIKE 'p%'")
+    assert isinstance(stmt2.where, ast.Not)
+
+
+def test_is_null_and_is_not_null():
+    stmt = parse_select("SELECT a FROM t WHERE x IS NULL")
+    assert isinstance(stmt.where, ast.IsNull)
+    stmt2 = parse_select("SELECT a FROM t WHERE x IS NOT NULL")
+    assert stmt2.where.negated
+
+
+def test_null_safe_equal():
+    stmt = parse_select("SELECT a FROM t WHERE x <=> 5")
+    assert stmt.where.op == "<=>"
+
+
+def test_diamond_normalizes_to_bang_equal():
+    stmt = parse_select("SELECT a FROM t WHERE x <> 5")
+    assert stmt.where.op == "!="
+
+
+def test_arithmetic_precedence():
+    stmt = parse_select("SELECT a + b * 2 FROM t")
+    expr = stmt.items[0].expr
+    assert isinstance(expr, ast.Arithmetic)
+    assert expr.op == "+"
+    assert isinstance(expr.right, ast.Arithmetic)
+    assert expr.right.op == "*"
+
+
+def test_negative_literal_folds():
+    stmt = parse_select("SELECT a FROM t WHERE x > -5")
+    assert stmt.where.right == ast.Literal(-5)
+
+
+def test_aggregates():
+    stmt = parse_select(
+        "SELECT COUNT(*), SUM(x), AVG(y), MIN(z), MAX(z), COUNT(DISTINCT x) FROM t"
+    )
+    count = stmt.items[0].expr
+    assert isinstance(count, ast.FuncCall) and count.star
+    distinct = stmt.items[5].expr
+    assert distinct.distinct
+
+
+def test_group_by_having_order_limit_offset():
+    stmt = parse_select(
+        "SELECT x, COUNT(*) FROM t WHERE y > 0 GROUP BY x "
+        "HAVING COUNT(*) > 5 ORDER BY x DESC LIMIT 10 OFFSET 20"
+    )
+    assert stmt.group_by == (ast.ColumnRef(None, "x"),)
+    assert stmt.having is not None
+    assert stmt.order_by[0].desc
+    assert stmt.limit == 10
+    assert stmt.offset == 20
+
+
+def test_mysql_limit_offset_comma_form():
+    stmt = parse_select("SELECT a FROM t LIMIT 20, 10")
+    assert stmt.limit == 10
+    assert stmt.offset == 20
+
+
+def test_parameterized_query_parses():
+    stmt = parse_select("SELECT a FROM t WHERE x = ? AND y IN (?) LIMIT ?")
+    assert isinstance(stmt.where.items[0].right, ast.Param)
+    assert stmt.limit == -1   # unknown nominal bound
+
+
+def test_insert():
+    stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+    assert isinstance(stmt, ast.Insert)
+    assert stmt.columns == ("a", "b")
+    assert len(stmt.rows) == 2
+
+
+def test_update():
+    stmt = parse("UPDATE t SET a = 1, b = b + 1 WHERE id = 5")
+    assert isinstance(stmt, ast.Update)
+    assert stmt.assignments[0][0] == "a"
+    assert isinstance(stmt.assignments[1][1], ast.Arithmetic)
+
+
+def test_delete():
+    stmt = parse("DELETE FROM t WHERE id = 5")
+    assert isinstance(stmt, ast.Delete)
+
+
+def test_trailing_semicolon_ok():
+    parse("SELECT a FROM t;")
+
+
+def test_trailing_garbage_raises():
+    with pytest.raises(ParseError):
+        parse("SELECT a FROM t garbage junk")
+
+
+def test_unsupported_statement_raises():
+    with pytest.raises(ParseError):
+        parse("CREATE TABLE t (a INT)")
+
+
+def test_parse_select_rejects_dml():
+    with pytest.raises(ParseError):
+        parse_select("DELETE FROM t")
+
+
+def test_roundtrip_to_sql_reparses():
+    sql = (
+        "SELECT u.name, COUNT(*) FROM users AS u INNER JOIN orders "
+        "ON u.id = orders.user_id WHERE u.age > 30 AND "
+        "(orders.status = 'paid' OR orders.amount IN (1, 2)) "
+        "GROUP BY u.name ORDER BY u.name LIMIT 5"
+    )
+    first = parse(sql).to_sql()
+    second = parse(first).to_sql()
+    assert first == second

@@ -1,0 +1,95 @@
+"""Partial order tests (paper Sec. III-A3)."""
+
+import pytest
+
+from repro.core import PartialOrder
+
+
+def test_build_drops_empty_groups():
+    po = PartialOrder.build("t", [["a", "b"], [], ["c"]])
+    assert po.partitions == (frozenset({"a", "b"}), frozenset({"c"}))
+
+
+def test_duplicate_columns_rejected():
+    with pytest.raises(ValueError):
+        PartialOrder.build("t", [["a"], ["a"]])
+
+
+def test_empty_partition_rejected():
+    with pytest.raises(ValueError):
+        PartialOrder("t", (frozenset(),))
+
+
+def test_chain():
+    po = PartialOrder.chain("t", ["a", "b", "c"])
+    assert po.partitions == tuple(frozenset([c]) for c in "abc")
+
+
+def test_columns_and_width():
+    po = PartialOrder.build("t", [["a", "b"], ["c"]])
+    assert po.columns == {"a", "b", "c"}
+    assert po.width == 3
+    assert not po.is_empty
+
+
+def test_precedes_within_and_across_partitions():
+    po = PartialOrder.build("t", [["a", "b"], ["c"]])
+    assert po.precedes("a", "c")
+    assert po.precedes("b", "c")
+    assert not po.precedes("a", "b")   # same partition: unordered
+    assert not po.precedes("c", "a")
+
+
+def test_partition_index_keyerror():
+    po = PartialOrder.build("t", [["a"]])
+    with pytest.raises(KeyError):
+        po.partition_index("z")
+
+
+def test_append_skips_existing_columns():
+    po = PartialOrder.build("t", [["a"]])
+    extended = po.append(["a", "b", "c"])
+    assert extended.partitions == (frozenset({"a"}), frozenset({"b", "c"}))
+    assert po.append(["a"]) is po
+
+
+def test_append_chain_orders_singletons():
+    po = PartialOrder.build("t", [["a"]])
+    extended = po.append_chain(["b", "c", "a"])
+    assert extended.partitions == (
+        frozenset({"a"}), frozenset({"b"}), frozenset({"c"}),
+    )
+
+
+def test_satisfied_by_paper_example():
+    """<{col2, col3}, {col1}> admits exactly [col2,col3,col1] and
+    [col3,col2,col1] (Sec. III-E)."""
+    po = PartialOrder.build("t", [["col2", "col3"], ["col1"]])
+    assert po.satisfied_by(("col2", "col3", "col1"))
+    assert po.satisfied_by(("col3", "col2", "col1"))
+    assert not po.satisfied_by(("col1", "col2", "col3"))
+    assert not po.satisfied_by(("col2", "col1", "col3"))
+    assert not po.satisfied_by(("col2", "col3"))
+
+
+def test_total_orders_enumeration():
+    po = PartialOrder.build("t", [["a", "b"], ["c"]])
+    orders = set(po.total_orders())
+    assert orders == {("a", "b", "c"), ("b", "a", "c")}
+    assert all(po.satisfied_by(o) for o in orders)
+
+
+def test_linearize_default_alphabetical():
+    po = PartialOrder.build("t", [["b", "a"], ["c"]])
+    assert po.linearize() == ("a", "b", "c")
+
+
+def test_linearize_with_key():
+    po = PartialOrder.build("t", [["a", "b"]])
+    ranks = {"a": 2, "b": 1}
+    assert po.linearize(key=lambda c: ranks[c]) == ("b", "a")
+
+
+def test_str_representation():
+    po = PartialOrder.build("t1", [["col1", "col2"], ["col3"]])
+    assert str(po) == "t1:<{col1, col2}, {col3}>"

@@ -1,0 +1,117 @@
+"""Predicate analysis tests."""
+
+from repro.sqlparser import (
+    ast,
+    classify_atomic,
+    join_predicate,
+    parse_select,
+    split_conjuncts,
+    split_disjuncts,
+    to_dnf,
+)
+from repro.sqlparser.predicates import like_has_constant_prefix
+
+
+def where(sql_condition: str) -> ast.Expr:
+    return parse_select(f"SELECT a FROM t WHERE {sql_condition}").where
+
+
+def test_split_conjuncts_flattens_nested_and():
+    expr = where("a = 1 AND b = 2 AND c = 3")
+    assert len(split_conjuncts(expr)) == 3
+    assert split_conjuncts(None) == []
+
+
+def test_split_disjuncts():
+    expr = where("a = 1 OR b = 2 OR c = 3")
+    assert len(split_disjuncts(expr)) == 3
+
+
+def test_dnf_paper_example_e2():
+    # E2: (col1 = 5 AND col2 = 'ABC' AND col3 > 5) OR (col2 = 'X' AND col4 < 2)
+    expr = where("(col1 = 5 AND col2 = 'ABC' AND col3 > 5) OR (col2 = 'X' AND col4 < 2.0)")
+    factors = to_dnf(expr)
+    assert len(factors) == 2
+    cols = [
+        sorted(classify_atomic(e).column.column for e in factor)
+        for factor in factors
+    ]
+    assert ["col1", "col2", "col3"] in cols
+    assert ["col2", "col4"] in cols
+
+
+def test_dnf_distributes_and_over_or():
+    expr = where("a = 1 AND (b = 2 OR c = 3)")
+    factors = to_dnf(expr)
+    assert len(factors) == 2
+    assert all(len(f) == 2 for f in factors)
+
+
+def test_dnf_caps_explosion():
+    clause = " AND ".join(f"(a{i} = 1 OR b{i} = 2)" for i in range(10))
+    factors = to_dnf(where(clause), max_terms=16)
+    assert len(factors) <= 16
+
+
+def test_classify_eq():
+    pred = classify_atomic(where("x = 5"))
+    assert pred.op == "="
+    assert pred.column.column == "x"
+    assert pred.is_ipp and pred.is_sargable
+
+
+def test_classify_flipped_comparison():
+    pred = classify_atomic(where("5 < x"))
+    assert pred.op == ">"
+    assert pred.column.column == "x"
+
+
+def test_classify_in_between_null_like():
+    assert classify_atomic(where("x IN (1, 2)")).op == "IN"
+    assert classify_atomic(where("x BETWEEN 1 AND 2")).op == "BETWEEN"
+    assert classify_atomic(where("x IS NULL")).op == "IS NULL"
+    assert classify_atomic(where("x IS NOT NULL")).op == "IS NOT NULL"
+    assert classify_atomic(where("x LIKE 'a%'")).op == "LIKE"
+    assert classify_atomic(where("x NOT LIKE 'a%'")).op == "NOT LIKE"
+
+
+def test_classify_rejects_column_to_column():
+    assert classify_atomic(where("x = y")) is None
+
+
+def test_classify_accepts_constant_arithmetic():
+    pred = classify_atomic(where("x > 5 + 3"))
+    assert pred is not None and pred.op == ">"
+
+
+def test_join_predicate_detection():
+    stmt = parse_select("SELECT a FROM t1, t2 WHERE t1.x = t2.y")
+    pair = join_predicate(stmt.where)
+    assert pair is not None
+    assert pair[0].table == "t1" and pair[1].table == "t2"
+
+
+def test_join_predicate_rejects_same_table():
+    stmt = parse_select("SELECT a FROM t1 WHERE t1.x = t1.y")
+    assert join_predicate(stmt.where) is None
+
+
+def test_join_predicate_rejects_non_equality():
+    stmt = parse_select("SELECT a FROM t1, t2 WHERE t1.x < t2.y")
+    assert join_predicate(stmt.where) is None
+
+
+def test_like_prefix_detection():
+    assert like_has_constant_prefix("abc%")
+    assert not like_has_constant_prefix("%abc")
+    assert not like_has_constant_prefix("_bc")
+    assert not like_has_constant_prefix("")
+    assert not like_has_constant_prefix(None)
+
+
+def test_ipp_classification_matches_paper():
+    """Sec. IV-B2: =, <=>, IN chain prefixes; >, <= etc. do not."""
+    ipp_pred = classify_atomic(where("x <=> 1"))
+    assert ipp_pred.is_ipp
+    range_pred = classify_atomic(where("x <= 1"))
+    assert not range_pred.is_ipp and range_pred.is_range

@@ -1,0 +1,29 @@
+"""All seven Table II products build and behave to spec."""
+
+import pytest
+
+from repro.optimizer import CostEvaluator
+from repro.workloads.production import PRODUCTS, build_product
+
+
+@pytest.mark.parametrize("key", sorted(PRODUCTS))
+def test_product_builds_to_spec(key):
+    spec = PRODUCTS[key]
+    product = build_product(spec)
+    assert len(product.db.schema.tables) == spec.tables
+    assert len(product.workload) >= spec.query_count
+    # Every table has stats and a positive row count in the spec's range.
+    for table in product.db.schema:
+        rows = product.db.stats.row_count(table.name)
+        assert spec.min_rows * 0.5 <= rows <= spec.max_rows * 2
+    # A sample of statements must plan without errors.
+    evaluator = CostEvaluator(product.db)
+    for query in list(product.workload)[:25]:
+        assert evaluator.cost(query.sql) > 0
+
+
+def test_products_differ_from_each_other():
+    f = build_product(PRODUCTS["F"])
+    d = build_product(PRODUCTS["D"])
+    assert {t.name for t in f.db.schema} != {t.name for t in d.db.schema} or \
+        [q.sql for q in f.workload] != [q.sql for q in d.workload]

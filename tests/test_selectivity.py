@@ -1,0 +1,131 @@
+"""Selectivity estimation tests."""
+
+import pytest
+
+from repro.optimizer.selectivity import (
+    UNKNOWN_SELECTIVITY,
+    atomic_selectivity,
+    combined_range_selectivity,
+    constant_value,
+    expr_selectivity,
+)
+from repro.sqlparser import classify_atomic, parse_select
+from repro.stats import ColumnStats, analyze_column
+
+
+def atom(condition: str):
+    stmt = parse_select(f"SELECT a FROM t WHERE {condition}")
+    pred = classify_atomic(stmt.where)
+    assert pred is not None
+    return pred
+
+
+def atoms(condition: str):
+    from repro.sqlparser import split_conjuncts
+
+    stmt = parse_select(f"SELECT a FROM t WHERE {condition}")
+    return [classify_atomic(c) for c in split_conjuncts(stmt.where)]
+
+
+UNIFORM = analyze_column(list(range(1000)))
+
+
+def test_constant_value_literals_and_arith():
+    stmt = parse_select("SELECT a FROM t WHERE x > 5 + 3 * 2")
+    assert constant_value(stmt.where.right) == 11
+    stmt2 = parse_select("SELECT a FROM t WHERE x > y")
+    assert constant_value(stmt2.where.right) is None
+    stmt3 = parse_select("SELECT a FROM t WHERE x > 1 / 0")
+    assert constant_value(stmt3.where.right) is None
+
+
+def test_eq_selectivity_with_and_without_value():
+    stats = ColumnStats(ndv=200)
+    assert atomic_selectivity(atom("x = 5"), stats) == pytest.approx(1 / 200)
+    assert atomic_selectivity(atom("x = ?"), stats) == pytest.approx(1 / 200)
+
+
+def test_range_selectivity_uses_histogram():
+    sel = atomic_selectivity(atom("x > 900"), UNIFORM)
+    assert sel == pytest.approx(0.1, abs=0.03)
+    sel_le = atomic_selectivity(atom("x <= 100"), UNIFORM)
+    assert sel_le == pytest.approx(0.1, abs=0.03)
+
+
+def test_between_selectivity():
+    sel = atomic_selectivity(atom("x BETWEEN 100 AND 299"), UNIFORM)
+    assert sel == pytest.approx(0.2, abs=0.03)
+
+
+def test_in_and_not_in():
+    stats = ColumnStats(ndv=100)
+    assert atomic_selectivity(atom("x IN (1, 2, 3)"), stats) == pytest.approx(0.03, abs=0.02)
+    assert atomic_selectivity(atom("x NOT IN (1, 2, 3)"), stats) > 0.9
+
+
+def test_is_null_variants():
+    stats = analyze_column([None] * 30 + list(range(70)))
+    assert atomic_selectivity(atom("x IS NULL"), stats) == pytest.approx(0.3)
+    assert atomic_selectivity(atom("x IS NOT NULL"), stats) == pytest.approx(0.7)
+
+
+def test_like_and_not_like():
+    stats = ColumnStats(ndv=100)
+    like = atomic_selectivity(atom("x LIKE 'abc%'"), stats)
+    assert 0 < like < 0.25
+    not_like = atomic_selectivity(atom("x NOT LIKE 'abc%'"), stats)
+    assert not_like == pytest.approx(1 - like, abs=0.01)
+
+
+def test_bang_equal():
+    stats = ColumnStats(ndv=100)
+    assert atomic_selectivity(atom("x != 5"), stats) == pytest.approx(0.99)
+
+
+def test_combined_range_is_interval_not_product():
+    """`x >= 400 AND x < 500` must estimate the 10% interval."""
+    preds = atoms("x >= 400 AND x < 500")
+    sel = combined_range_selectivity(preds, UNIFORM)
+    assert sel == pytest.approx(0.1, abs=0.03)
+
+
+def test_combined_range_tightest_bounds_win():
+    preds = atoms("x > 100 AND x > 400 AND x < 500 AND x <= 900")
+    sel = combined_range_selectivity(preds, UNIFORM)
+    assert sel == pytest.approx(0.1, abs=0.03)
+
+
+def test_combined_range_between_intersects():
+    preds = atoms("x BETWEEN 0 AND 999 AND x >= 900")
+    sel = combined_range_selectivity(preds, UNIFORM)
+    assert sel == pytest.approx(0.1, abs=0.03)
+
+
+def test_combined_range_unknown_params():
+    preds = atoms("x > ? AND x < ?")
+    sel = combined_range_selectivity(preds, UNIFORM)
+    assert 0 < sel < 1
+
+
+def test_expr_selectivity_and_or_not():
+    lookup = lambda ref: ColumnStats(ndv=10)
+    stmt = parse_select("SELECT a FROM t WHERE x = 1 AND y = 2")
+    assert expr_selectivity(stmt.where, lookup) == pytest.approx(0.01)
+    stmt2 = parse_select("SELECT a FROM t WHERE x = 1 OR y = 2")
+    assert expr_selectivity(stmt2.where, lookup) == pytest.approx(0.19)
+    stmt3 = parse_select("SELECT a FROM t WHERE NOT x = 1")
+    assert expr_selectivity(stmt3.where, lookup) == pytest.approx(0.9)
+
+
+def test_expr_selectivity_unknown_forms():
+    lookup = lambda ref: ColumnStats(ndv=10)
+    stmt = parse_select("SELECT a FROM t WHERE x = y")
+    assert expr_selectivity(stmt.where, lookup) == UNKNOWN_SELECTIVITY
+    assert expr_selectivity(None, lookup) == 1.0
+
+
+def test_selectivities_always_in_unit_interval():
+    stats = analyze_column([1] * 999 + [2])
+    for cond in ("x = 1", "x > 0", "x < 5", "x IN (1, 2)", "x != 1"):
+        sel = atomic_selectivity(atom(cond), stats)
+        assert 0 <= sel <= 1

@@ -1,0 +1,69 @@
+"""Star-join workload tests (the Fig 6 substrate)."""
+
+import pytest
+
+from repro.core import AimAdvisor, AimConfig
+from repro.optimizer import CostEvaluator
+from repro.workloads.starjoin import (
+    starjoin_database,
+    starjoin_tables,
+    starjoin_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def sdb():
+    return starjoin_database()
+
+
+def test_schema_shape(sdb):
+    assert len(sdb.schema.tables) == 4
+    fact = sdb.schema.table("fact")
+    for i in range(3):
+        assert fact.has_column(f"k{i}a")
+        assert fact.has_column(f"k{i}b")
+
+
+def test_composite_keys_individually_weak(sdb):
+    stats = sdb.stats.table("fact")
+    assert stats.column("k0a").ndv <= 50
+    # ... but jointly strong.
+    assert stats.distinct_values(("k0a", "k0b")) > stats.column("k0a").ndv
+
+
+def test_workload_mix(sdb):
+    workload = starjoin_workload()
+    stars = [q for q in workload if q.name.startswith("star")]
+    dml = [q for q in workload if q.is_dml]
+    assert len(stars) >= 20
+    assert dml
+
+
+def test_workload_is_deterministic():
+    a = starjoin_workload(seed=17)
+    b = starjoin_workload(seed=17)
+    assert [q.sql for q in a] == [q.sql for q in b]
+
+
+def test_all_queries_plan(sdb):
+    evaluator = CostEvaluator(sdb)
+    for query in starjoin_workload():
+        assert evaluator.cost(query.sql) > 0
+
+
+def test_join_parameter_shape(sdb):
+    """The Fig 6 property: j=2 dominates j=1; j=3 adds nothing."""
+    workload = starjoin_workload()
+    evaluator = CostEvaluator(sdb)
+    base = evaluator.workload_cost(workload.pairs())
+    rel = {}
+    for j in (1, 2, 3):
+        rec = AimAdvisor(sdb, AimConfig(join_parameter=j)).recommend(
+            workload, 16 << 30
+        )
+        cost = evaluator.workload_cost(
+            workload.pairs(), [i.as_dataless() for i in rec.indexes]
+        )
+        rel[j] = cost / base
+    assert rel[2] < rel[1] * 0.5
+    assert rel[3] == pytest.approx(rel[2], rel=0.25)

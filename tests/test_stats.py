@@ -1,0 +1,133 @@
+"""Statistics layer tests."""
+
+import pytest
+
+from repro.stats import (
+    ColumnStats,
+    Histogram,
+    StatsCatalog,
+    SyntheticColumn,
+    TableStats,
+    analyze_column,
+    analyze_table,
+    synthesize_table,
+)
+
+
+def test_histogram_fraction_below():
+    h = Histogram.from_values(list(range(100)))
+    assert h.fraction_below(0) == 0.0
+    assert h.fraction_below(100, inclusive=True) == 1.0
+    assert abs(h.fraction_below(50) - 0.5) < 0.02
+
+
+def test_histogram_fraction_between():
+    h = Histogram.from_values(list(range(100)))
+    assert abs(h.fraction_between(25, 74) - 0.5) < 0.03
+    assert h.fraction_between(None, None) == 1.0
+    assert h.fraction_between(200, 300) == 0.0
+
+
+def test_histogram_fraction_equal_counts_duplicates():
+    h = Histogram.from_values([1, 1, 1, 2])
+    assert h.fraction_equal(1) == 0.75
+    assert h.fraction_equal(9) == 0.0
+
+
+def test_histogram_decimates_large_inputs():
+    h = Histogram.from_values(list(range(10_000)))
+    assert len(h.values) <= 512
+    assert abs(h.fraction_below(5000) - 0.5) < 0.02
+
+
+def test_histogram_type_mismatch_falls_back():
+    h = Histogram.from_values([1.0, 2.0, 3.0])
+    assert h.fraction_below("zebra") == 0.5
+    assert h.fraction_equal("zebra") == 0.0
+
+
+def test_histogram_min_max():
+    h = Histogram.from_values([5, 1, 9])
+    assert h.min_value == 1 and h.max_value == 9
+    assert Histogram().min_value is None
+
+
+def test_eq_selectivity_uses_ndv():
+    stats = ColumnStats(ndv=100)
+    assert stats.eq_selectivity() == pytest.approx(0.01)
+
+
+def test_eq_selectivity_uses_histogram_when_value_known():
+    stats = analyze_column([1] * 90 + [2] * 10)
+    assert stats.eq_selectivity(1) == pytest.approx(0.9)
+    assert stats.eq_selectivity(2) == pytest.approx(0.1)
+
+
+def test_null_fraction_discounts_selectivity():
+    stats = analyze_column([None] * 50 + list(range(50)))
+    assert stats.null_frac == pytest.approx(0.5)
+    assert stats.is_null_selectivity() == pytest.approx(0.5)
+    assert stats.is_null_selectivity(negated=True) == pytest.approx(0.5)
+
+
+def test_range_selectivity_with_histogram():
+    stats = analyze_column(list(range(100)))
+    assert stats.range_selectivity(">", 89) == pytest.approx(0.1, abs=0.03)
+    assert stats.range_selectivity("<", 10) == pytest.approx(0.1, abs=0.03)
+
+
+def test_range_selectivity_unknown_value_default():
+    stats = ColumnStats(ndv=100)
+    assert 0 < stats.range_selectivity(">") < 1
+
+
+def test_in_selectivity_scales_with_items():
+    stats = ColumnStats(ndv=100)
+    assert stats.in_selectivity(5) == pytest.approx(0.05)
+    assert stats.in_selectivity(1000) == 1.0
+
+
+def test_like_selectivity_prefix_length():
+    stats = ColumnStats(ndv=100)
+    assert stats.like_selectivity("abcd%") < stats.like_selectivity("a%")
+    assert stats.like_selectivity("%x") == 0.25
+
+
+def test_analyze_column_ndv():
+    stats = analyze_column([1, 1, 2, 3, None])
+    assert stats.ndv == 3
+    assert stats.null_frac == pytest.approx(0.2)
+
+
+def test_analyze_table_row_count():
+    ts = analyze_table({"a": [1, 2, 3], "b": ["x", "y", "z"]})
+    assert ts.row_count == 3
+    assert ts.column("a").ndv == 3
+
+
+def test_distinct_values_caps_at_rowcount():
+    ts = TableStats(row_count=1000, columns={
+        "a": ColumnStats(ndv=100),
+        "b": ColumnStats(ndv=100),
+    })
+    combined = ts.distinct_values(("a", "b"))
+    assert 100 <= combined <= 1000
+    assert ts.distinct_values(()) == 1
+    assert ts.distinct_values(("a",)) >= 100 * 0.9
+
+
+def test_synthesize_table():
+    ts = synthesize_table(10_000, {
+        "id": SyntheticColumn(ndv=-1, lo=1, hi=10_000),
+        "kind": SyntheticColumn(ndv=5),
+    })
+    assert ts.row_count == 10_000
+    assert ts.column("id").ndv == 10_000
+    assert ts.column("kind").ndv == 5
+    assert not ts.column("id").histogram.empty
+
+
+def test_stats_catalog_defaults():
+    catalog = StatsCatalog()
+    assert catalog.row_count("unknown") == 0
+    assert catalog.table("unknown").column("x").ndv == 1

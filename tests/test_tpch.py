@@ -1,0 +1,105 @@
+"""TPC-H workload package tests."""
+
+import pytest
+
+from repro.executor import Executor
+from repro.optimizer import CostEvaluator
+from repro.sqlparser import parse
+from repro.workloads.tpch import (
+    day,
+    load_tpch,
+    row_counts,
+    tpch_database,
+    tpch_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def db10():
+    return tpch_database(scale_factor=10)
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return load_tpch(scale_factor=0.002, seed=1)
+
+
+def test_row_counts_scale():
+    sf1 = row_counts(1)
+    sf10 = row_counts(10)
+    assert sf1["lineitem"] == 6_000_000
+    assert sf10["lineitem"] == 60_000_000
+    assert sf10["nation"] == 25   # fixed tables don't scale
+
+
+def test_day_helper():
+    assert day(1992, 1, 1) == 0
+    assert day(1993, 1, 1) == 366   # 1992 is a leap year
+
+
+def test_schema_has_eight_tables(db10):
+    assert len(db10.schema.tables) == 8
+    assert db10.stats.row_count("lineitem") == 60_000_000
+
+
+def test_all_22_queries_parse_and_plan(db10):
+    workload = tpch_workload()
+    assert len(workload) == 22
+    evaluator = CostEvaluator(db10)
+    for query in workload:
+        parse(query.sql)
+        cost = evaluator.cost(query.sql)
+        assert cost > 0, query.name
+
+
+def test_seeded_instantiation_is_deterministic():
+    a = tpch_workload(seed=5)
+    b = tpch_workload(seed=5)
+    c = tpch_workload(seed=6)
+    assert [q.sql for q in a] == [q.sql for q in b]
+    assert [q.sql for q in a] != [q.sql for q in c]
+
+
+def test_queries_named_q1_to_q22():
+    names = [q.name for q in tpch_workload()]
+    assert names == [f"Q{i}" for i in range(1, 23)]
+
+
+def test_datagen_loads_and_analyzes(tiny):
+    assert tiny.storage["lineitem"].row_count == row_counts(0.002)["lineitem"]
+    assert tiny.stats.row_count("orders") > 0
+    assert tiny.stats.table("lineitem").column("l_shipmode").ndv == 7
+
+
+def test_queries_execute_on_generated_data(tiny):
+    executor = Executor(tiny)
+    workload = tpch_workload()
+    # Executable spot checks across shapes: scan+group, join, DNF monster.
+    for name in ("Q1", "Q6", "Q12", "Q19"):
+        query = workload.by_name(name)
+        result = executor.execute(query.sql)
+        assert result.metrics.rows_read > 0, name
+
+
+def test_q1_aggregation_is_correct(tiny):
+    executor = Executor(tiny)
+    q1 = tpch_workload().by_name("Q1")
+    result = executor.execute(q1.sql)
+    cutoff = day(1998, 12, 1) - 90
+    rows = [
+        r for r in tiny.storage["lineitem"].rows.values()
+        if r["l_shipdate"] <= cutoff
+    ]
+    expected_groups = {(r["l_returnflag"], r["l_linestatus"]) for r in rows}
+    assert {(row[0], row[1]) for row in result.rows} == expected_groups
+    total_count = sum(row[8] for row in result.rows)
+    assert total_count == len(rows)
+
+
+def test_advisor_runs_on_tpch(db10):
+    from repro.baselines import AimAlgorithm
+
+    result = AimAlgorithm(db10).select(tpch_workload(), 15 << 30)
+    assert result.relative_cost < 0.95
+    assert result.total_size_bytes <= 15 << 30
+    assert result.runtime_seconds < 30

@@ -1,0 +1,159 @@
+"""Workload, monitor and representative selection tests (Sec. III-C)."""
+
+import pytest
+
+from repro.engine import ExecutionMetrics
+from repro.workload import (
+    MonitoredExecutor,
+    QueryStatistics,
+    SelectionPolicy,
+    Workload,
+    WorkloadMonitor,
+    WorkloadQuery,
+    select_representative_workload,
+    tuning_targets,
+)
+
+
+def test_workload_from_sql_with_weights():
+    w = Workload.from_sql([("SELECT a FROM t", 5.0), "SELECT b FROM t"])
+    assert w.queries[0].weight == 5.0
+    assert w.queries[1].weight == 1.0
+    assert w.total_weight == 6.0
+    assert len(w) == 2
+
+
+def test_workload_query_is_dml():
+    assert WorkloadQuery("INSERT INTO t (a) VALUES (1)").is_dml
+    assert not WorkloadQuery("SELECT a FROM t").is_dml
+
+
+def test_selects_only():
+    w = Workload.from_sql(["SELECT a FROM t", "DELETE FROM t WHERE a = 1"])
+    assert len(w.selects_only()) == 1
+
+
+def test_query_statistics_ddr_and_benefit():
+    """Eq. 5: B = (1 - ddr) * cpu_avg with ddr = sent/read."""
+    stats = QueryStatistics("q")
+    stats.record(cpu=10.0, rows_read=1000, rows_sent=100)
+    assert stats.ddr_avg == pytest.approx(0.1)
+    assert stats.cpu_avg == pytest.approx(10.0)
+    assert stats.expected_benefit == pytest.approx(0.9 * 10.0)
+
+
+def test_efficient_query_has_low_benefit():
+    stats = QueryStatistics("q")
+    stats.record(cpu=10.0, rows_read=100, rows_sent=100)
+    assert stats.expected_benefit == pytest.approx(0.0)
+
+
+def test_statistics_merge_across_replicas():
+    a = QueryStatistics("q", executions=2, total_cpu=10, rows_read=100, rows_sent=10)
+    b = QueryStatistics("q", executions=3, total_cpu=20, rows_read=200, rows_sent=20)
+    a.merge(b)
+    assert a.executions == 5
+    assert a.total_cpu == 30
+    with pytest.raises(ValueError):
+        a.merge(QueryStatistics("other"))
+
+
+def test_monitor_groups_by_normalized_sql():
+    monitor = WorkloadMonitor()
+    m = ExecutionMetrics(rows_read=100, rows_sent=10)
+    monitor.record_execution("SELECT a FROM t WHERE x = 1", m, 1.0)
+    monitor.record_execution("SELECT a FROM t WHERE x = 2", m, 3.0)
+    assert len(monitor.stats) == 1
+    entry = next(iter(monitor.stats.values()))
+    assert entry.executions == 2
+    assert entry.cpu_avg == pytest.approx(2.0)
+    assert entry.example_sql == "SELECT a FROM t WHERE x = 1"
+
+
+def test_monitor_top_by_benefit_ordering():
+    monitor = WorkloadMonitor()
+    wasteful = ExecutionMetrics(rows_read=1000, rows_sent=1)
+    efficient = ExecutionMetrics(rows_read=10, rows_sent=10)
+    monitor.record_execution("SELECT a FROM t WHERE x = 1", wasteful, 10.0)
+    monitor.record_execution("SELECT b FROM t WHERE y = 1", efficient, 10.0)
+    top = monitor.top_by_benefit()
+    assert "x" in top[0].normalized_sql
+
+
+def test_monitor_merge():
+    m1, m2 = WorkloadMonitor(), WorkloadMonitor()
+    metrics = ExecutionMetrics(rows_read=10, rows_sent=1)
+    m1.record_execution("SELECT a FROM t WHERE x = 1", metrics, 1.0)
+    m2.record_execution("SELECT a FROM t WHERE x = 9", metrics, 1.0)
+    m2.record_execution("SELECT b FROM u WHERE y = 1", metrics, 1.0)
+    m1.merge(m2)
+    assert len(m1.stats) == 2
+    assert next(
+        s for s in m1.stats.values() if "t" in s.normalized_sql
+    ).executions == 2
+
+
+def test_selection_frequency_threshold():
+    monitor = WorkloadMonitor()
+    m = ExecutionMetrics(rows_read=1000, rows_sent=1)
+    monitor.record_execution("SELECT a FROM t WHERE x = 1", m, 100.0)  # once
+    policy = SelectionPolicy(min_executions=2, min_benefit=0.01)
+    assert len(select_representative_workload(monitor, policy)) == 0
+
+
+def test_selection_benefit_threshold():
+    monitor = WorkloadMonitor()
+    cheap = ExecutionMetrics(rows_read=1000, rows_sent=1)
+    for _ in range(10):
+        monitor.record_execution("SELECT a FROM t WHERE x = 1", cheap, 0.0001)
+    policy = SelectionPolicy(min_executions=2, min_benefit=0.05)
+    assert len(select_representative_workload(monitor, policy)) == 0
+
+
+def test_selection_weights_are_execution_counts():
+    monitor = WorkloadMonitor()
+    m = ExecutionMetrics(rows_read=1000, rows_sent=1)
+    for _ in range(7):
+        monitor.record_execution("SELECT a FROM t WHERE x = 1", m, 10.0)
+    workload = select_representative_workload(
+        monitor, SelectionPolicy(min_executions=2, min_benefit=0.01)
+    )
+    assert workload.queries[0].weight == 7.0
+
+
+def test_selection_carries_dml_with_zero_benefit_role():
+    monitor = WorkloadMonitor()
+    m = ExecutionMetrics(rows_read=1000, rows_sent=1)
+    for _ in range(5):
+        monitor.record_execution("SELECT a FROM t WHERE x = 1", m, 10.0)
+        monitor.record_execution(
+            "UPDATE t SET a = 1 WHERE x = 2", ExecutionMetrics(), 0.5
+        )
+    workload = select_representative_workload(
+        monitor, SelectionPolicy(min_executions=2, min_benefit=0.01)
+    )
+    assert any(q.is_dml for q in workload)
+    without_dml = select_representative_workload(
+        monitor, SelectionPolicy(min_executions=2, min_benefit=0.01),
+        include_dml=False,
+    )
+    assert not any(q.is_dml for q in without_dml)
+
+
+def test_selection_max_queries_cap():
+    monitor = WorkloadMonitor()
+    m = ExecutionMetrics(rows_read=1000, rows_sent=1)
+    for i in range(10):
+        for _ in range(5):
+            monitor.record_execution(f"SELECT a FROM t WHERE x = {i} AND y{i} = 1", m, 10.0)
+    policy = SelectionPolicy(min_executions=2, min_benefit=0.01, max_queries=3)
+    assert len(tuning_targets(monitor, policy)) == 3
+
+
+def test_monitored_executor_records(db):
+    monitored = MonitoredExecutor(db)
+    monitored.execute("SELECT name FROM users WHERE city = 'c1'")
+    assert len(monitored.monitor.stats) == 1
+    entry = next(iter(monitored.monitor.stats.values()))
+    assert entry.rows_read == 500
+    assert entry.total_cpu > 0
