@@ -14,6 +14,8 @@ import pathlib
 import sys
 from typing import Any
 
+from repro.obs import reset_telemetry, telemetry_snapshot
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 GIB = 1 << 30
@@ -25,11 +27,26 @@ print = functools.partial(print, file=sys.__stdout__, flush=True)  # noqa: A001
 
 
 def save_results(name: str, payload: Any) -> pathlib.Path:
-    """Persist a bench's machine-readable output."""
+    """Persist a bench's machine-readable output.
+
+    Every result JSON carries a ``telemetry`` block -- the process-wide
+    metrics registry (per-phase optimizer-call counts and timing
+    histograms from the advisor spans) plus span timing aggregates --
+    making the paper's "cheap advisor" claim decomposable per bench run.
+    List payloads are wrapped as ``{"results": [...], "telemetry": ...}``;
+    ``update_experiments.py`` unwraps them transparently.
+    """
+    telemetry = telemetry_snapshot()
+    if isinstance(payload, dict):
+        payload = {**payload, "telemetry": telemetry}
+    else:
+        payload = {"results": payload, "telemetry": telemetry}
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, default=str)
+    # Scope each bench's telemetry to its own result file.
+    reset_telemetry()
     return path
 
 

@@ -8,13 +8,13 @@ optimizer-call comparisons (Fig 4b/4d) are apples to apples.
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..catalog import Index
 from ..engine import Database
+from ..obs import get_registry, trace
 from ..optimizer import CostEvaluator
 from ..workload import Workload
 
@@ -51,11 +51,28 @@ class SelectionAlgorithm(ABC):
         """Run the algorithm; returns the selected configuration and
         bookkeeping (wall-clock runtime, optimizer calls, costs)."""
         evaluator = CostEvaluator(self.db, include_schema_indexes=False)
-        started = time.perf_counter()
-        indexes = self._select(evaluator, workload, budget_bytes)
-        runtime = time.perf_counter() - started
-        cost_before = evaluator.workload_cost(workload.pairs(), [])
-        cost_after = evaluator.workload_cost(workload.pairs(), indexes)
+        with trace("baseline.select", algorithm=self.name) as span:
+            indexes = self._select(evaluator, workload, budget_bytes)
+            span.set(
+                optimizer_calls=evaluator.optimizer_calls,
+                indexes=len(indexes),
+            )
+        runtime = span.duration
+        selection_calls = evaluator.optimizer_calls
+        with trace("baseline.cost_eval", algorithm=self.name) as cost_span:
+            cost_before = evaluator.workload_cost(workload.pairs(), [])
+            cost_after = evaluator.workload_cost(workload.pairs(), indexes)
+            cost_span.set(
+                optimizer_calls=evaluator.optimizer_calls - selection_calls
+            )
+        registry = get_registry()
+        registry.histogram(
+            "baseline.select.seconds", "selection wall seconds per algorithm"
+        ).observe(runtime, algorithm=self.name)
+        registry.histogram(
+            "baseline.optimizer_calls",
+            "optimizer invocations per run (selection + cost accounting)",
+        ).observe(evaluator.optimizer_calls, algorithm=self.name)
         return AlgorithmResult(
             algorithm=self.name,
             indexes=list(indexes),

@@ -7,6 +7,14 @@ statements::
     python -m repro.cli --schema schema.sql --workload workload.sql \\
         --budget 2GiB --rows orders=5000000 --rows users=200000
 
+Subcommands (the bare flag form above implies ``advise``):
+
+* ``advise`` -- run an advisor; ``--trace FILE.json`` additionally writes
+  a Chrome ``trace_event`` file of the run (load in chrome://tracing),
+  and ``--format json`` output carries a ``telemetry`` block.
+* ``obs-report FILE`` -- summarize a previously written trace/telemetry
+  JSON (see ``docs/OBSERVABILITY.md``).
+
 Workload file format: statements separated by ``;``.  A comment line
 ``-- weight: <number>`` immediately before a statement sets its weight
 (execution frequency); the default weight is 1.
@@ -29,6 +37,8 @@ from .baselines import ALL_ALGORITHMS, AimAlgorithm
 from .catalog import Column, Table
 from .core import AimAdvisor, AimConfig
 from .engine import Database, INNODB, INNODB_HDD, ROCKSDB
+from .obs import get_tracer, telemetry_snapshot
+from .obs.report import render_report
 from .sqlparser.ddl import parse_ddl
 from .stats import SyntheticColumn, synthesize_table
 from .workload import Workload, WorkloadQuery
@@ -141,6 +151,8 @@ def make_parser() -> argparse.ArgumentParser:
         prog="repro.cli",
         description="AIM index advisor over SQL schema + workload files.",
     )
+    parser.add_argument("--trace", default=None, metavar="FILE.json",
+                        help="write a Chrome trace_event file of the run")
     parser.add_argument("--schema", required=True,
                         help="path to a CREATE TABLE script")
     parser.add_argument("--workload", required=True,
@@ -164,7 +176,70 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Options of the advise parser that consume a value (subcommand scan).
+_VALUE_FLAGS = {
+    "--trace", "--schema", "--workload", "--budget", "--rows",
+    "--default-rows", "--engine", "--join-parameter", "--max-width",
+    "--algorithm", "--format",
+}
+
+
+def _split_command(argv: list[str]) -> tuple[str, list[str]]:
+    """Pop the subcommand (first positional token) out of *argv*.
+
+    ``advise`` is the default, so the historical bare-flag invocation
+    keeps working; flags may precede the subcommand
+    (``repro --trace out.json advise --schema ...``).
+    """
+    i = 0
+    while i < len(argv):
+        token = argv[i]
+        if token in _VALUE_FLAGS:
+            i += 2
+        elif token.startswith("-"):
+            i += 1
+        else:
+            if token in ("advise", "obs-report"):
+                return token, argv[:i] + argv[i + 1:]
+            return "advise", argv
+    return "advise", argv
+
+
+def obs_report(argv: Sequence[str]) -> int:
+    """Summarize trace/telemetry JSON files (``repro.cli obs-report``)."""
+    paths = [token for token in argv if not token.startswith("-")]
+    if not paths:
+        print("usage: repro.cli obs-report FILE.json [FILE.json ...]",
+              file=sys.stderr)
+        return 2
+    for path in paths:
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        if len(paths) > 1:
+            print(f"== {path} ==")
+        print(render_report(payload))
+    return 0
+
+
+def _write_trace(path: Optional[str]) -> int:
+    if path:
+        try:
+            get_tracer().write_chrome_trace(path)
+        except OSError as exc:
+            print(f"error: cannot write trace file: {exc}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    command, argv = _split_command(argv)
+    if command == "obs-report":
+        return obs_report(argv)
     args = make_parser().parse_args(argv)
     row_counts: dict[str, int] = {}
     for hint in args.rows:
@@ -208,6 +283,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "improvement": recommendation.improvement,
                 "optimizer_calls": recommendation.optimizer_calls,
                 "runtime_seconds": recommendation.runtime_seconds,
+                "telemetry": telemetry_snapshot(),
             }
             print(json.dumps(payload, indent=2))
         else:
@@ -216,7 +292,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             for index in recommendation.indexes:
                 print(f"CREATE INDEX {index.name} ON "
                       f"{index.table} ({', '.join(index.columns)});")
-        return 0
+        return _write_trace(args.trace)
 
     algorithm = ALL_ALGORITHMS[args.algorithm](db)
     result = algorithm.select(workload, args.budget)
@@ -230,6 +306,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "relative_cost": result.relative_cost,
             "runtime_seconds": result.runtime_seconds,
             "optimizer_calls": result.optimizer_calls,
+            "telemetry": telemetry_snapshot(),
         }
         print(json.dumps(payload, indent=2))
     else:
@@ -238,7 +315,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for index in result.indexes:
             print(f"CREATE INDEX {index.materialized().name} ON "
                   f"{index.table} ({', '.join(index.columns)});")
-    return 0
+    return _write_trace(args.trace)
 
 
 if __name__ == "__main__":

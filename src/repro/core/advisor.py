@@ -20,12 +20,13 @@ The advisor never mutates the database; callers materialize
 
 from __future__ import annotations
 
-import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Iterator, Optional
 
 from ..catalog import Index
 from ..engine import Database
+from ..obs import Span, get_registry, trace
 from ..optimizer import CostEvaluator
 from ..workload import (
     SelectionPolicy,
@@ -45,6 +46,34 @@ from .explain import (
 from .ipp import RangeColumnChooser
 from .knapsack import knapsack_select
 from .ranking import RankedCandidate, default_cpu_basis, rank_candidates
+
+
+@contextmanager
+def advisor_phase(name: str, evaluator: CostEvaluator) -> Iterator[Span]:
+    """Trace one pipeline phase and account its optimizer-call share.
+
+    Each phase span carries the number of (uncached) optimizer
+    invocations it triggered, and the same numbers feed the
+    ``advisor.phase.seconds`` / ``advisor.phase.optimizer_calls``
+    histograms -- turning the single ``optimizer_calls`` integer of the
+    seed into a per-phase decomposition (paper Table 2 / Fig 6 claims).
+    """
+    registry = get_registry()
+    calls_before = evaluator.optimizer_calls
+    with trace(name) as span:
+        try:
+            yield span
+        finally:
+            delta = evaluator.optimizer_calls - calls_before
+            span.set(optimizer_calls=delta)
+            phase = name.rsplit(".", 1)[-1]
+            registry.histogram(
+                "advisor.phase.seconds", "wall seconds per advisor phase"
+            ).observe(span.duration, phase=phase)
+            registry.histogram(
+                "advisor.phase.optimizer_calls",
+                "optimizer invocations per advisor phase",
+            ).observe(delta, phase=phase)
 
 
 @dataclass(frozen=True)
@@ -111,55 +140,88 @@ class AimAdvisor:
         """Representative workload selection (Sec. III-C) + recommend."""
         if self.monitor is None:
             raise RuntimeError("advisor has no workload monitor attached")
-        workload = select_representative_workload(self.monitor, policy)
+        with trace("advisor.workload_selection") as span:
+            workload = select_representative_workload(self.monitor, policy)
+            span.set(selected_queries=len(workload))
         return self.recommend(workload, budget_bytes)
 
     def recommend(self, workload: Workload, budget_bytes: int) -> Recommendation:
         """Run Algorithm 1 on *workload* under *budget_bytes*."""
-        started = time.perf_counter()
         evaluator = CostEvaluator(
             self.db, include_schema_indexes=self.config.relative_to_current
         )
         generator = self._generator(evaluator)
+        registry = get_registry()
+        registry.counter("advisor.runs", "advisor invocations").inc()
 
-        cost_before = evaluator.workload_cost(workload.pairs())
+        with trace("advisor.recommend", queries=len(workload)) as root:
+            with advisor_phase("advisor.baseline_cost", evaluator):
+                cost_before = evaluator.workload_cost(workload.pairs())
 
-        # Phase 1: narrow (non-covering) indexes for every tuning target.
-        selects = [q for q in workload if not q.is_dml]
-        phase1_queries = [
-            (q.normalized_sql, evaluator.analyze(q.sql), MODE_NON_COVERING)
-            for q in selects
-        ]
-        candidates = generator.generate(phase1_queries)
-        ranked = rank_candidates(
-            evaluator, self.db, workload, candidates, self._cpu_basis
-        )
-        selected = knapsack_select(ranked, budget_bytes)
-        phases = {c.index.name: PHASE_NARROW for c in selected}
+            # Phase 1: narrow (non-covering) indexes for every tuning target.
+            selects = [q for q in workload if not q.is_dml]
+            with advisor_phase("advisor.candidate_generation", evaluator) as span:
+                phase1_queries = [
+                    (q.normalized_sql, evaluator.analyze(q.sql), MODE_NON_COVERING)
+                    for q in selects
+                ]
+                candidates = generator.generate(phase1_queries)
+                span.set(candidates=len(candidates.indexes))
 
-        # Phase 2: covering indexes for very frequent, still-seek-heavy
-        # queries, evaluated on top of the phase-1 configuration.
-        if self.config.covering_phase:
-            selected, phases = self._covering_phase(
-                evaluator, generator, workload, selects,
-                selected, phases, budget_bytes,
-            )
+            with advisor_phase("advisor.ranking", evaluator) as span:
+                ranked = rank_candidates(
+                    evaluator, self.db, workload, candidates, self._cpu_basis
+                )
+                span.set(ranked=len(ranked))
 
-        # Validation: the no-regression guarantee (Eq. 4) on the clone.
-        rejected: list[Index] = []
-        if self.config.validate:
-            selected, rejected = self._validate(evaluator, workload, selected)
+            with advisor_phase("advisor.knapsack", evaluator) as span:
+                selected = knapsack_select(ranked, budget_bytes)
+                span.set(selected=len(selected))
+            phases = {c.index.name: PHASE_NARROW for c in selected}
 
-        chosen_indexes = [c.index for c in selected]
-        cost_after = evaluator.workload_cost(workload.pairs(), chosen_indexes)
+            # Phase 2: covering indexes for very frequent, still-seek-heavy
+            # queries, evaluated on top of the phase-1 configuration.
+            if self.config.covering_phase:
+                with advisor_phase("advisor.covering_phase", evaluator) as span:
+                    selected, phases = self._covering_phase(
+                        evaluator, generator, workload, selects,
+                        selected, phases, budget_bytes,
+                    )
+                    span.set(selected=len(selected))
 
-        # Eq. 3: require a minimum improvement for at least one query.
-        if selected and not self._improves_some_query(
-            evaluator, workload, chosen_indexes
-        ):
-            selected, chosen_indexes = [], []
-            cost_after = cost_before
+            # Validation: the no-regression guarantee (Eq. 4) on the clone.
+            rejected: list[Index] = []
+            if self.config.validate:
+                with advisor_phase("advisor.validation", evaluator) as span:
+                    selected, rejected = self._validate(
+                        evaluator, workload, selected
+                    )
+                    span.set(accepted=len(selected), rejected=len(rejected))
+                verdicts = registry.counter(
+                    "advisor.validation.verdicts",
+                    "clone-validation outcomes per candidate index",
+                )
+                verdicts.inc(len(selected), verdict="accepted")
+                verdicts.inc(len(rejected), verdict="rejected")
 
+            with advisor_phase("advisor.finalize", evaluator) as span:
+                chosen_indexes = [c.index for c in selected]
+                cost_after = evaluator.workload_cost(
+                    workload.pairs(), chosen_indexes
+                )
+                # Eq. 3: require a minimum improvement for at least one query.
+                if selected and not self._improves_some_query(
+                    evaluator, workload, chosen_indexes
+                ):
+                    selected, chosen_indexes = [], []
+                    cost_after = cost_before
+                span.set(chosen=len(chosen_indexes))
+
+            root.set(optimizer_calls=evaluator.optimizer_calls)
+
+        registry.counter(
+            "advisor.indexes.recommended", "indexes across all advisor runs"
+        ).inc(len(selected))
         created = [
             IndexRecommendation(
                 index=c.index.materialized(),
@@ -176,7 +238,7 @@ class AimAdvisor:
             budget_bytes=budget_bytes,
             cost_before=cost_before,
             cost_after=cost_after,
-            runtime_seconds=time.perf_counter() - started,
+            runtime_seconds=root.duration,
             optimizer_calls=evaluator.optimizer_calls,
             rejected_for_regression=rejected,
         )

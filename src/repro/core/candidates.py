@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..catalog import Index, Schema
+from ..obs import trace
 from ..optimizer.query_info import QueryInfo
 from ..optimizer.switches import DEFAULT_SWITCHES, OptimizerSwitches
 from ..stats import StatsCatalog
@@ -220,17 +221,21 @@ class CandidateGenerator:
         """
         per_query: dict[str, set[PartialOrder]] = {}
         all_orders: set[PartialOrder] = set()
-        for key, info, mode in queries:
-            orders = self.generate_for_query(info, mode)
-            per_query.setdefault(key, set()).update(orders)
-            all_orders |= orders
+        with trace("advisor.partial_order_generation") as span:
+            for key, info, mode in queries:
+                orders = self.generate_for_query(info, mode)
+                per_query.setdefault(key, set()).update(orders)
+                all_orders |= orders
+            span.set(queries=len(per_query), orders=len(all_orders))
 
-        if self.config.merge_orders:
-            merged = merge_by_table(
-                all_orders, self.config.max_orders_per_table
-            )
-        else:
-            merged = set(all_orders)
+        with trace("advisor.merge") as span:
+            if self.config.merge_orders:
+                merged = merge_by_table(
+                    all_orders, self.config.max_orders_per_table
+                )
+            else:
+                merged = set(all_orders)
+            span.set(orders_in=len(all_orders), orders_out=len(merged))
 
         result = CandidateSet()
         index_by_order: dict[PartialOrder, Index] = {}

@@ -9,7 +9,8 @@ data ratio ``ddr`` (Sec. III-A2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, fields
 
 from .pages import CostParams
 
@@ -30,8 +31,6 @@ class ExecutionMetrics:
 
     def cpu_seconds(self, params: CostParams) -> float:
         """Total cost in cost units (interpreted as CPU seconds incl. IOWAIT)."""
-        import math
-
         sort_cost = 0.0
         if self.sort_rows > 1:
             sort_cost = params.sort_unit_cost * self.sort_rows * math.log2(self.sort_rows)
@@ -55,6 +54,10 @@ class ExecutionMetrics:
         if self.rows_read <= 0:
             return 1.0
         return min(1.0, max(0.0, self.rows_sent / self.rows_read))
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain dict (telemetry export, stats export)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def merge(self, other: "ExecutionMetrics") -> None:
         """Accumulate counters from another metrics object."""

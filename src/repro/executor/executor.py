@@ -16,6 +16,7 @@ from typing import Any, Iterator, Optional
 
 from ..engine import Database, ExecutionMetrics
 from ..engine.storage import TableStorage
+from ..obs import record_execution_metrics
 from ..optimizer import Optimizer
 from ..optimizer.plan import AccessPath, JoinStep, Plan
 from ..optimizer.query_info import QueryInfo
@@ -54,14 +55,17 @@ class Executor:
         if isinstance(stmt, str):
             stmt = parse(stmt)
         if isinstance(stmt, ast.Select):
-            return self._execute_select(stmt)
-        if isinstance(stmt, ast.Insert):
-            return self._execute_insert(stmt)
-        if isinstance(stmt, ast.Update):
-            return self._execute_update(stmt)
-        if isinstance(stmt, ast.Delete):
-            return self._execute_delete(stmt)
-        raise TypeError(f"cannot execute {type(stmt).__name__}")
+            result = self._execute_select(stmt)
+        elif isinstance(stmt, ast.Insert):
+            result = self._execute_insert(stmt)
+        elif isinstance(stmt, ast.Update):
+            result = self._execute_update(stmt)
+        elif isinstance(stmt, ast.Delete):
+            result = self._execute_delete(stmt)
+        else:
+            raise TypeError(f"cannot execute {type(stmt).__name__}")
+        record_execution_metrics(result.metrics, type(stmt).__name__.lower())
+        return result
 
     # -- SELECT ----------------------------------------------------------------
 

@@ -14,6 +14,7 @@ from typing import Optional
 
 from ..core import AimConfig, ContinuousTuner, TuningCycleResult
 from ..engine import Database
+from ..obs import get_registry, trace
 from ..workload import SelectionPolicy
 from .regression import ContinuousRegressionDetector
 from .replica import ReplicaSet
@@ -73,16 +74,23 @@ class FleetCoordinator:
 
     def scan_and_tune(self) -> dict[str, TuningCycleResult]:
         """One coordinator sweep over the fleet."""
+        registry = get_registry()
         results: dict[str, TuningCycleResult] = {}
-        for name, managed in self.managed.items():
-            if not self.needs_tuning(name):
-                continue
-            result = managed.tuner.run_cycle()
-            for index in result.created:
-                managed.detector.note_index_created(index)
-            if result.changed:
-                managed.replica_set.apply_ddl()   # flush replica plan caches
-            results[name] = result
+        with trace("fleet.scan_and_tune", managed=len(self.managed)) as span:
+            for name, managed in self.managed.items():
+                if not self.needs_tuning(name):
+                    continue
+                with trace("fleet.tuning_cycle", database=name):
+                    result = managed.tuner.run_cycle()
+                registry.counter(
+                    "fleet.tuning_cycles", "tuning cycles triggered per database"
+                ).inc(database=name)
+                for index in result.created:
+                    managed.detector.note_index_created(index)
+                if result.changed:
+                    managed.replica_set.apply_ddl()   # flush replica plan caches
+                results[name] = result
+            span.set(tuned=len(results))
         return results
 
     def check_regressions(self, name: str) -> list:
@@ -90,10 +98,21 @@ class FleetCoordinator:
         revert flagged automation-added indexes."""
         managed = self.managed[name]
         monitor = self.warehouse.monitor_for(name)
-        events = managed.detector.observe_window(monitor)
-        flagged = managed.detector.flagged_for_removal(events)
-        for index in flagged:
-            managed.replica_set.primary.db.drop_index(index)
+        with trace("fleet.check_regressions", database=name) as span:
+            events = managed.detector.observe_window(monitor)
+            flagged = managed.detector.flagged_for_removal(events)
+            for index in flagged:
+                managed.replica_set.primary.db.drop_index(index)
+            if flagged:
+                managed.replica_set.apply_ddl()
+            span.set(events=len(events), reverted=len(flagged))
+        registry = get_registry()
+        if events:
+            registry.counter(
+                "fleet.regression.events", "detected per-query regressions"
+            ).inc(len(events), database=name)
         if flagged:
-            managed.replica_set.apply_ddl()
+            registry.counter(
+                "fleet.indexes_reverted", "automation indexes reverted"
+            ).inc(len(flagged), database=name)
         return events

@@ -13,7 +13,15 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..catalog import Index
+from ..obs import counter
 from ..workload import WorkloadMonitor
+
+_WINDOWS = counter(
+    "regression.windows_observed", "observation windows processed"
+).labels()
+_EVENTS = counter(
+    "regression.events_detected", "per-query regressions flagged"
+).labels()
 
 
 @dataclass
@@ -81,6 +89,9 @@ class ContinuousRegressionDetector:
                         suspect_indexes=suspects or recent,
                     )
                 )
+        _WINDOWS.inc()
+        if events:
+            _EVENTS.inc(len(events))
         self._baseline.update(current)
         # Age the suspect list.
         aged: dict[str, tuple[Index, int]] = {}

@@ -1,0 +1,92 @@
+"""Telemetry for the AIM reproduction (see ``docs/OBSERVABILITY.md``).
+
+Two complementary instruments share this package:
+
+* :mod:`~repro.obs.tracer` -- hierarchical spans answering *where did the
+  time go* (advisor phases, baseline runs, fleet sweeps), exportable as
+  nested JSON or Chrome ``trace_event`` files;
+* :mod:`~repro.obs.metrics` -- a process-wide registry of labeled
+  counters/gauges/histograms answering *how often and how much*
+  (optimizer invocations per phase, what-if cache hits, page I/O).
+
+Both have a process-wide default instance so instrumented library code
+stays dependency-free: ``with trace("advisor.ranking"): ...`` and
+``counter("optimizer.calls").inc()`` record into whatever tracer/registry
+is current.  :func:`telemetry_snapshot` bundles both into the JSON block
+benches and the CLI attach to their results; :func:`reset_telemetry`
+clears both between runs.
+"""
+
+from __future__ import annotations
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    set_registry,
+)
+from .tracer import (
+    Span,
+    Tracer,
+    get_tracer,
+    load_chrome_trace,
+    set_tracer,
+    trace,
+    traced,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "counter",
+    "gauge",
+    "histogram",
+    "get_registry",
+    "set_registry",
+    "get_tracer",
+    "set_tracer",
+    "trace",
+    "traced",
+    "load_chrome_trace",
+    "telemetry_snapshot",
+    "reset_telemetry",
+    "record_execution_metrics",
+]
+
+
+def telemetry_snapshot() -> dict:
+    """The ``telemetry`` block attached to bench results and CLI output:
+    the registry snapshot plus per-span-name timing aggregates."""
+    return {
+        "metrics": get_registry().snapshot(),
+        "spans": get_tracer().summary(),
+    }
+
+
+def reset_telemetry() -> None:
+    """Zero the process-wide registry and tracer (between runs/tests)."""
+    get_registry().reset()
+    get_tracer().reset()
+
+
+def record_execution_metrics(metrics, kind: str = "select") -> None:
+    """Bridge one :class:`~repro.engine.ExecutionMetrics` into the registry.
+
+    Every executor counter becomes an ``engine.<counter>`` counter labeled
+    by statement kind, so page I/O and row counts aggregate across
+    statements the same way a server's global status variables would.
+    """
+    registry = get_registry()
+    for name, value in metrics.as_dict().items():
+        if value:
+            registry.counter(f"engine.{name}").inc(value, kind=kind)
+    registry.counter("engine.statements").inc(1, kind=kind)

@@ -18,6 +18,7 @@ from typing import Sequence, Union
 
 from ..catalog import Index
 from ..engine import Database
+from ..obs import counter, histogram
 from ..sqlparser import ast, parse
 from .cost_model import affected_rows, dml_base_cost, maintenance_cost
 from .join_order import SelectPlanner
@@ -25,6 +26,15 @@ from .plan import JoinStep, Plan
 from .query_info import QueryInfo, analyze_query
 
 Statement = Union[str, ast.Statement, QueryInfo]
+
+# Bound metric children: one dict lookup at import, one add per event.
+_CALLS_SELECT = counter(
+    "optimizer.calls", "optimizer invocations by statement kind"
+).labels(kind="select")
+_CALLS_DML = counter("optimizer.calls").labels(kind="dml")
+_PLAN_COST = histogram(
+    "optimizer.plan_cost", "total estimated cost per produced plan"
+).labels()
 
 
 class Optimizer:
@@ -60,6 +70,7 @@ class Optimizer:
         if materialized_only:
             extra_indexes = [idx for idx in extra_indexes if not idx.dataless]
         if isinstance(info.stmt, ast.Select):
+            _CALLS_SELECT.inc()
             planner = SelectPlanner(
                 self.db.schema,
                 self.db.stats,
@@ -69,8 +80,12 @@ class Optimizer:
                 materialized_only=materialized_only,
                 switches=self.db.switches,
             )
-            return planner.plan()
-        return self._explain_dml(info, extra_indexes)
+            plan = planner.plan()
+        else:
+            _CALLS_DML.inc()
+            plan = self._explain_dml(info, extra_indexes)
+        _PLAN_COST.observe(plan.total_cost)
+        return plan
 
     def cost(self, stmt: Statement, extra_indexes: Sequence[Index] = ()) -> float:
         """Total estimated cost of a statement."""

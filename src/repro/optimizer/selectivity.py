@@ -11,10 +11,16 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
+from ..obs import counter
 from ..sqlparser import ast
 from ..sqlparser.predicates import AtomicPredicate, classify_atomic
 from ..stats import ColumnStats
 from ..stats.column_stats import DEFAULT_RANGE_SELECTIVITY
+
+_SEL_ATOMIC = counter(
+    "optimizer.selectivity.calls", "selectivity estimations by entry point"
+).labels(entry="atomic")
+_SEL_EXPR = counter("optimizer.selectivity.calls").labels(entry="expr")
 
 #: Floor applied to conjunctions so long predicate chains never hit zero.
 MIN_SELECTIVITY = 1e-9
@@ -60,6 +66,7 @@ def _apply_arith(op: str, left, right):
 
 def atomic_selectivity(pred: AtomicPredicate, stats: ColumnStats) -> float:
     """Selectivity of one atomic predicate given its column's stats."""
+    _SEL_ATOMIC.inc()
     expr = pred.expr
     op = pred.op
     if op in ("=", "<=>"):
@@ -188,6 +195,7 @@ def expr_selectivity(expr: Optional[ast.Expr], lookup: StatsLookup) -> float:
     """
     if expr is None:
         return 1.0
+    _SEL_EXPR.inc()
     if isinstance(expr, ast.And):
         sel = 1.0
         for item in expr.items:
