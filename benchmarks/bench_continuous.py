@@ -15,12 +15,14 @@ from __future__ import annotations
 import pytest
 
 from repro.core import AimConfig, ContinuousTuner
+from repro.obs import get_journal
+from repro.obs.fleet_report import render_fleet_report
 from repro.optimizer import CostEvaluator
 from repro.workload import SelectionPolicy, WorkloadMonitor, WorkloadQuery
 from repro.workloads.oltp import workload_shift
 from repro.workloads.production import PRODUCTS, build_product, dba_index_set
 
-from harness import fmt_pct, print_header, print_table, save_results
+from harness import RESULTS_DIR, fmt_pct, print_header, print_table, save_results
 
 #: The new endpoints' share of total workload weight (a modest push).
 NEW_QUERY_WEIGHT_SHARE = 0.04
@@ -64,6 +66,16 @@ def make_new_queries(product) -> list[WorkloadQuery]:
 
 
 def run_experiment():
+    # Durable decision journal: every advisor decision and DDL of the
+    # cycle below lands in results/continuous_journal.jsonl, renderable
+    # with ``python -m repro.cli fleet-report``.
+    RESULTS_DIR.mkdir(exist_ok=True)
+    journal = get_journal()
+    journal.reset()
+    journal_path = RESULTS_DIR / "continuous_journal.jsonl"
+    journal_path.unlink(missing_ok=True)
+    journal.bind(str(journal_path))
+
     product = build_product(PRODUCTS["C"])
     db = product.db
     budget = max(512 << 20, sum(db.table_size_bytes(t) for t in db.schema.tables))
@@ -109,7 +121,10 @@ def run_experiment():
         if before > 0 and after < before * 0.95:
             improved.append((q.name, after / before))
     tenfold = [name for name, ratio in improved if ratio <= 0.1]
+    journal.close()
     return {
+        "journal_events": len(journal),
+        "journal_path": str(journal_path),
         "created_indexes": len(result.created),
         "cpu_saved_fraction": 1 - cost_after / cost_before,
         "improved_queries": len(improved),
@@ -136,8 +151,11 @@ def test_continuous_tuning(benchmark):
             ["new queries fixed",
              f"{r['new_queries_fixed']}/{r['n_new_queries']}", "-"],
             ["indexes created", r["created_indexes"], "-"],
+            ["journal events", r["journal_events"], "-"],
         ],
     )
+    print()
+    print(render_fleet_report(get_journal().records()))
     save_results("continuous", r)
 
     assert r["created_indexes"] > 0, "the cycle must react to the push"

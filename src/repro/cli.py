@@ -14,6 +14,14 @@ Subcommands (the bare flag form above implies ``advise``):
   and ``--format json`` output carries a ``telemetry`` block.
 * ``obs-report FILE`` -- summarize a previously written trace/telemetry
   JSON (see ``docs/OBSERVABILITY.md``).
+* ``explain`` -- print the optimizer plan for each workload statement;
+  with ``--analyze`` the statements are *executed* against synthesized
+  rows and each plan node shows estimated vs. actual rows with its
+  Q-error (EXPLAIN ANALYZE).
+* ``fleet-report JOURNAL.jsonl`` -- render the fleet health report
+  (decision audit, regression timeline, digest time series, top
+  estimation errors) from a decision journal written by an instrumented
+  run; ``--json`` emits the structured sections.
 
 Workload file format: statements separated by ``;``.  A comment line
 ``-- weight: <number>`` immediately before a statement sets its weight
@@ -29,15 +37,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import re
 import sys
 from typing import Optional, Sequence
 
 from .baselines import ALL_ALGORITHMS, AimAlgorithm
-from .catalog import Column, Table
+from .catalog import Column, Table, TypeKind
 from .core import AimAdvisor, AimConfig
 from .engine import Database, INNODB, INNODB_HDD, ROCKSDB
-from .obs import get_tracer, telemetry_snapshot
+from .executor import Executor, render_explain_analyze
+from .obs import get_tracer, read_events, telemetry_snapshot
+from .obs.fleet_report import fleet_report_data, render_fleet_report
 from .obs.report import render_report
 from .sqlparser.ddl import parse_ddl
 from .stats import SyntheticColumn, synthesize_table
@@ -146,6 +157,64 @@ def build_database(
     return db
 
 
+def synthesize_row_value(
+    table: Table, column: Column, rows: int, i: int, rng: random.Random
+):
+    """One deterministic cell value, mirroring the NDV heuristics of
+    :func:`synthesize_column_stats` so plans over generated rows estimate
+    the same way stats-only advising does."""
+    name = column.name.lower()
+    kind = column.ctype.kind
+    if column.name in table.primary_key:
+        return i + 1
+    if column.nullable and rng.random() < 0.05:
+        return None
+    if name.endswith("id"):
+        return rng.randint(1, max(2, rows))
+    if any(word in name for word in ("status", "state", "kind", "type", "flag")):
+        return f"v{rng.randrange(8)}"
+    if kind == TypeKind.BOOLEAN:
+        return rng.randrange(2)
+    if kind in (TypeKind.DATE, TypeKind.DATETIME):
+        return rng.randint(0, 3650)
+    if kind == TypeKind.STRING:
+        return f"s{rng.randrange(max(2, rows // 20))}"
+    return rng.randint(0, 1_000_000)
+
+
+def build_stored_database(
+    schema_sql: str,
+    row_counts: dict[str, int],
+    default_rows: int,
+    engine: str,
+    seed: int = 7,
+) -> Database:
+    """Assemble a *stored* database (rows + ANALYZE'd statistics) from DDL
+    plus row-count hints, for ``explain --analyze`` runs."""
+    parsed = parse_ddl(schema_sql)
+    db = Database(
+        parsed.to_schema(), params=_ENGINES[engine],
+        with_storage=True, name="cli",
+    )
+    for table in parsed.tables:
+        rows = row_counts.get(table.name, default_rows)
+        rng = random.Random(f"{seed}:{table.name}")   # str seeds hash stably
+        db.load_rows(
+            table.name,
+            [
+                {
+                    column.name: synthesize_row_value(
+                        table, column, rows, i, rng
+                    )
+                    for column in table.columns
+                }
+                for i in range(rows)
+            ],
+        )
+    db.analyze()
+    return db
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli",
@@ -176,11 +245,39 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def make_explain_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli explain",
+        description="Optimizer plans (and, with --analyze, executed "
+        "actuals with per-node Q-error) for workload statements.",
+    )
+    parser.add_argument("--schema", required=True,
+                        help="path to a CREATE TABLE script")
+    parser.add_argument("--workload", default=None,
+                        help="path to a SQL workload script")
+    parser.add_argument("--sql", default=None,
+                        help="a single statement instead of --workload")
+    parser.add_argument("--rows", action="append", default=[],
+                        metavar="TABLE=COUNT",
+                        help="row count hint, repeatable")
+    parser.add_argument("--default-rows", type=int, default=2000,
+                        help="rows to synthesize per table (default 2000; "
+                        "rows are generated and executed, keep it small)")
+    parser.add_argument("--engine", choices=sorted(_ENGINES),
+                        default="innodb", help="storage engine cost profile")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="row synthesis seed")
+    parser.add_argument("--analyze", action="store_true",
+                        help="execute each statement and show actuals")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    return parser
+
+
 #: Options of the advise parser that consume a value (subcommand scan).
 _VALUE_FLAGS = {
     "--trace", "--schema", "--workload", "--budget", "--rows",
     "--default-rows", "--engine", "--join-parameter", "--max-width",
-    "--algorithm", "--format",
+    "--algorithm", "--format", "--sql", "--seed",
 }
 
 
@@ -199,7 +296,7 @@ def _split_command(argv: list[str]) -> tuple[str, list[str]]:
         elif token.startswith("-"):
             i += 1
         else:
-            if token in ("advise", "obs-report"):
+            if token in ("advise", "obs-report", "explain", "fleet-report"):
                 return token, argv[:i] + argv[i + 1:]
             return "advise", argv
     return "advise", argv
@@ -225,6 +322,90 @@ def obs_report(argv: Sequence[str]) -> int:
     return 0
 
 
+def explain(argv: Sequence[str]) -> int:
+    """``repro.cli explain``: plans, optionally with executed actuals."""
+    args = make_explain_parser().parse_args(list(argv))
+    if (args.sql is None) == (args.workload is None):
+        print("error: give exactly one of --sql or --workload",
+              file=sys.stderr)
+        return 2
+    row_counts: dict[str, int] = {}
+    for hint in args.rows:
+        if "=" not in hint:
+            print(f"error: bad --rows value {hint!r}", file=sys.stderr)
+            return 2
+        table, _, count = hint.partition("=")
+        row_counts[table.strip()] = int(count)
+    with open(args.schema) as fh:
+        schema_sql = fh.read()
+    if args.sql is not None:
+        workload = Workload([WorkloadQuery(args.sql, name="q1")], name="cli")
+    else:
+        with open(args.workload) as fh:
+            workload = parse_workload_file(fh.read())
+    if not len(workload):
+        print("error: nothing to explain", file=sys.stderr)
+        return 2
+
+    db = build_stored_database(
+        schema_sql, row_counts, args.default_rows, args.engine, args.seed
+    )
+    executor = Executor(db)
+    reports = []
+    for query in workload:
+        if query.is_dml:
+            reports.append(
+                {"name": query.name, "sql": query.sql, "skipped": "DML"}
+            )
+            continue
+        result = executor.execute(query.sql, analyze=args.analyze)
+        entry = {
+            "name": query.name,
+            "sql": query.sql,
+            "estimated_cost": result.plan.total_cost,
+            "rendered": render_explain_analyze(
+                result.plan, result.actual if args.analyze else None
+            ),
+        }
+        if result.actual is not None:
+            entry["actual"] = result.actual.to_dict()
+            entry["rows_returned"] = result.rowcount
+        reports.append(entry)
+
+    if args.format == "json":
+        print(json.dumps({"statements": reports}, indent=2))
+        return 0
+    for entry in reports:
+        print(f"-- {entry['name']}: {entry['sql']}")
+        if "skipped" in entry:
+            print(f"   (skipped: {entry['skipped']})")
+        else:
+            print(entry["rendered"])
+        print()
+    return 0
+
+
+def fleet_report(argv: Sequence[str]) -> int:
+    """``repro.cli fleet-report``: render a decision-journal report."""
+    as_json = "--json" in argv
+    paths = [token for token in argv if not token.startswith("-")]
+    if len(paths) != 1:
+        print("usage: repro.cli fleet-report JOURNAL.jsonl [--json]",
+              file=sys.stderr)
+        return 2
+    try:
+        records = read_events(paths[0])
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read journal {paths[0]}: {exc}",
+              file=sys.stderr)
+        return 2
+    if as_json:
+        print(json.dumps(fleet_report_data(records), indent=2))
+    else:
+        print(render_fleet_report(records))
+    return 0
+
+
 def _write_trace(path: Optional[str]) -> int:
     if path:
         try:
@@ -240,6 +421,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     command, argv = _split_command(argv)
     if command == "obs-report":
         return obs_report(argv)
+    if command == "explain":
+        return explain(argv)
+    if command == "fleet-report":
+        return fleet_report(argv)
     args = make_parser().parse_args(argv)
     row_counts: dict[str, int] = {}
     for hint in args.rows:

@@ -26,7 +26,7 @@ from typing import Iterator, Optional
 
 from ..catalog import Index
 from ..engine import Database
-from ..obs import Span, get_registry, trace
+from ..obs import AdvisorDecision, Span, emit, get_registry, trace
 from ..optimizer import CostEvaluator
 from ..workload import (
     SelectionPolicy,
@@ -178,6 +178,16 @@ class AimAdvisor:
                 selected = knapsack_select(ranked, budget_bytes)
                 span.set(selected=len(selected))
             phases = {c.index.name: PHASE_NARROW for c in selected}
+            picked = {c.index.name for c in selected}
+            for candidate in selected:
+                self._emit_decision(
+                    "accepted", "knapsack_selected", candidate, PHASE_NARROW
+                )
+            for candidate in ranked:
+                if candidate.index.name not in picked:
+                    self._emit_decision(
+                        "rejected", "knapsack_evicted", candidate, PHASE_NARROW
+                    )
 
             # Phase 2: covering indexes for very frequent, still-seek-heavy
             # queries, evaluated on top of the phase-1 configuration.
@@ -213,6 +223,13 @@ class AimAdvisor:
                 if selected and not self._improves_some_query(
                     evaluator, workload, chosen_indexes
                 ):
+                    for candidate in selected:
+                        self._emit_decision(
+                            "rejected",
+                            "below_min_improvement",
+                            candidate,
+                            phases.get(candidate.index.name, PHASE_NARROW),
+                        )
                     selected, chosen_indexes = [], []
                     cost_after = cost_before
                 span.set(chosen=len(chosen_indexes))
@@ -244,6 +261,30 @@ class AimAdvisor:
         )
 
     # -- pipeline pieces --------------------------------------------------------
+
+    def _emit_decision(
+        self,
+        action: str,
+        reason: str,
+        candidate: RankedCandidate,
+        phase: str = "",
+    ) -> None:
+        """Journal one accept/reject transition of Algorithm 1."""
+        index = candidate.index
+        emit(
+            AdvisorDecision(
+                action=action,
+                reason=reason,
+                index=index.name,
+                table=index.table,
+                columns=tuple(index.columns),
+                phase=phase,
+                benefit=candidate.benefit,
+                maintenance=candidate.maintenance,
+                size_bytes=candidate.size_bytes,
+                database=self.db.name,
+            )
+        )
 
     def _generator(self, evaluator: CostEvaluator) -> CandidateGenerator:
         if self.config.use_dataless_guidance:
@@ -323,6 +364,9 @@ class AimAdvisor:
         extra = knapsack_select(ranked2, remaining)
         for candidate in extra:
             phases[candidate.index.name] = PHASE_COVERING
+            self._emit_decision(
+                "accepted", "covering_promoted", candidate, PHASE_COVERING
+            )
         merged = selected + extra
 
         # A covering index may subsume a narrower phase-1 pick; drop
@@ -336,6 +380,13 @@ class AimAdvisor:
             )
             if not subsumed:
                 final.append(candidate)
+            else:
+                self._emit_decision(
+                    "rejected",
+                    "subsumed_by_covering",
+                    candidate,
+                    phases.get(candidate.index.name, PHASE_NARROW),
+                )
         return final, phases
 
     def _validate(
@@ -380,6 +431,7 @@ class AimAdvisor:
             victim = min(affecting, key=lambda c: c.utility)
             current = [c for c in current if c.index.name != victim.index.name]
             rejected.append(victim.index)
+            self._emit_decision("rejected", "validation_regression", victim)
         return current, rejected
 
     def _improves_some_query(

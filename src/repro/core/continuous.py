@@ -13,6 +13,7 @@ from typing import Optional
 
 from ..catalog import Index
 from ..engine import Database
+from ..obs import CycleEnd, CycleStart, DdlApplied, WorkloadDigest, emit
 from ..optimizer import CostEvaluator
 from ..workload import (
     SelectionPolicy,
@@ -112,6 +113,21 @@ class ContinuousTuner:
         """One tuning interval: recommend, apply, clean up."""
         if workload is None:
             workload = select_representative_workload(self.monitor, self.selection)
+        emit(
+            CycleStart(
+                database=self.db.name,
+                queries=len(workload),
+                budget_bytes=self.budget_bytes,
+            )
+        )
+        if self.monitor.stats:
+            emit(
+                WorkloadDigest(
+                    database=self.db.name,
+                    window=len(self.history),
+                    **self.monitor.digest(),
+                )
+            )
         result = TuningCycleResult()
         if len(workload):
             advisor = AimAdvisor(self.db, self.config, self.monitor)
@@ -122,12 +138,46 @@ class ContinuousTuner:
                 if not self.db.schema.has_index(index):
                     self.db.create_index(index.materialized())
                     result.created.append(index)
+                    self._emit_ddl("create", index)
         if self.drop_unused and workload is not None and len(workload):
             for index in find_prefix_redundant_indexes(self.db):
                 self.db.drop_index(index)
                 result.dropped.append(index)
+                self._emit_ddl("drop", index)
             for index in find_unused_indexes(self.db, workload):
                 self.db.drop_index(index)
                 result.dropped.append(index)
+                self._emit_ddl("drop", index)
         self.history.append(result)
+        recommendation = result.recommendation
+        emit(
+            CycleEnd(
+                database=self.db.name,
+                created=tuple(idx.name for idx in result.created),
+                dropped=tuple(idx.name for idx in result.dropped),
+                cost_before=recommendation.cost_before if recommendation else 0.0,
+                cost_after=recommendation.cost_after if recommendation else 0.0,
+                improvement=recommendation.improvement if recommendation else 0.0,
+                optimizer_calls=(
+                    recommendation.optimizer_calls if recommendation else 0
+                ),
+            )
+        )
         return result
+
+    def _emit_ddl(self, action: str, index: Index) -> None:
+        columns = ", ".join(index.columns)
+        if action == "create":
+            statement = f"CREATE INDEX {index.name} ON {index.table} ({columns})"
+        else:
+            statement = f"DROP INDEX {index.name} ON {index.table}"
+        emit(
+            DdlApplied(
+                action=action,
+                index=index.name,
+                table=index.table,
+                columns=tuple(index.columns),
+                database=self.db.name,
+                statement=statement,
+            )
+        )

@@ -98,4 +98,9 @@ class Recommendation:
             lines.append(rec.explanation())
         for index in self.dropped:
             lines.append(f"DROP INDEX {index.name} (unused or redundant)")
+        for index in self.rejected_for_regression:
+            lines.append(
+                f"REJECTED {index.name} "
+                f"(clone validation: would regress a query beyond λ3)"
+            )
         return "\n".join(lines)

@@ -1,6 +1,15 @@
 """Plan interpreter executing statements against stored rows."""
 
+from .analyze import ActualPlanStats, q_error, render_explain_analyze
 from .executor import ExecutionResult, Executor
 from .operators import Aggregator, ExprEvaluator
 
-__all__ = ["Executor", "ExecutionResult", "ExprEvaluator", "Aggregator"]
+__all__ = [
+    "Executor",
+    "ExecutionResult",
+    "ExprEvaluator",
+    "Aggregator",
+    "ActualPlanStats",
+    "q_error",
+    "render_explain_analyze",
+]

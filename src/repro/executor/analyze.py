@@ -1,0 +1,132 @@
+"""EXPLAIN ANALYZE: per-operator actuals and estimated-vs-actual diffing.
+
+When the executor runs with ``analyze=True`` it accounts, per plan
+operator, the rows it produced, how many times it ran (loops), the pages
+it read and its inclusive wall time, into an :class:`ActualPlanStats`
+tree attached to the :class:`~repro.executor.ExecutionResult`.  The
+renderer prints the optimizer's estimates side by side with those actuals
+plus the per-node **Q-error** -- ``max(est/actual, actual/est)`` -- the
+standard cardinality-estimation quality measure, so a what-if plan can be
+diffed against post-materialization reality node by node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..optimizer.plan import Plan
+
+__all__ = ["ActualPlanStats", "q_error", "render_explain_analyze"]
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """Multiplicative estimation error, >= 1.0 (1.0 = perfect).
+
+    Zero-row sides are clamped to one row -- the conventional treatment,
+    so an estimate of 0 against an actual of 0 is perfect rather than
+    undefined, and 0-vs-N degrades gracefully to N.
+    """
+    est = max(1.0, float(estimated))
+    act = max(1.0, float(actual))
+    return max(est / act, act / est)
+
+
+@dataclass
+class ActualPlanStats:
+    """Measured execution statistics for one plan operator.
+
+    Attributes:
+        label: the operator's EXPLAIN label (``AccessPath.describe()``,
+            ``Sort``, ``Result``).
+        est_rows: optimizer's cumulative row estimate at this node.
+        est_loops: optimizer's predicted executions of this node.
+        rows: actual rows this node produced (after its filters), summed
+            over all loops.
+        loops: times the node actually ran (1 for a driving scan or hash
+            build, one per outer row for a nested-loop inner).
+        rows_scanned: rows fetched from storage/index before filtering.
+        pages_read: pages this node touched (sequential + random).
+        wall_seconds: inclusive wall time (node + its children), like
+            PostgreSQL's EXPLAIN ANALYZE timings.
+        children: input operators (left-deep pipelines nest drive-side).
+    """
+
+    label: str
+    est_rows: float = 0.0
+    est_loops: float = 1.0
+    rows: int = 0
+    loops: int = 0
+    rows_scanned: int = 0
+    pages_read: int = 0
+    wall_seconds: float = 0.0
+    children: list["ActualPlanStats"] = field(default_factory=list)
+
+    @property
+    def q_error(self) -> float:
+        """Cardinality Q-error of this node's row estimate."""
+        return q_error(self.est_rows, self.rows)
+
+    def walk(self) -> Iterator[tuple[int, "ActualPlanStats"]]:
+        """Depth-first (node, depth) traversal from this node."""
+        stack: list[tuple[int, ActualPlanStats]] = [(0, self)]
+        while stack:
+            depth, node = stack.pop()
+            yield depth, node
+            for child in reversed(node.children):
+                stack.append((depth + 1, child))
+
+    def find(self, label_prefix: str) -> list["ActualPlanStats"]:
+        """All nodes whose label starts with *label_prefix*."""
+        return [
+            node for _depth, node in self.walk()
+            if node.label.startswith(label_prefix)
+        ]
+
+    def max_q_error(self) -> float:
+        return max(node.q_error for _depth, node in self.walk())
+
+    def to_dict(self) -> dict:
+        """JSON-ready nested representation (CLI ``--format json``)."""
+        return {
+            "label": self.label,
+            "est_rows": self.est_rows,
+            "est_loops": self.est_loops,
+            "rows": self.rows,
+            "loops": self.loops,
+            "rows_scanned": self.rows_scanned,
+            "pages_read": self.pages_read,
+            "wall_seconds": self.wall_seconds,
+            "q_error": self.q_error,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+def render_explain_analyze(
+    plan: Plan, actual: Optional[ActualPlanStats] = None
+) -> str:
+    """EXPLAIN [ANALYZE] text: estimates, and actuals when available.
+
+    Without *actual* this renders the estimated plan only (plain
+    EXPLAIN); with it, each node shows estimated vs. actual rows, the
+    Q-error, loop counts, pages read and inclusive wall time.
+    """
+    if actual is None:
+        return plan.describe()
+    header = (
+        f"{'node':<44} {'est rows':>9} {'act rows':>9} {'Q-err':>7} "
+        f"{'loops':>6} {'pages':>7} {'ms':>8}"
+    )
+    lines = ["EXPLAIN ANALYZE", header, "-" * len(header)]
+    for depth, node in actual.walk():
+        label = ("  " * depth + node.label)[:44]
+        lines.append(
+            f"{label:<44} {node.est_rows:>9.0f} {node.rows:>9} "
+            f"{node.q_error:>7.2f} {node.loops:>6} {node.pages_read:>7} "
+            f"{node.wall_seconds * 1e3:>8.2f}"
+        )
+    lines.append(
+        f"estimated total cost {plan.total_cost:.2f}; "
+        f"worst node Q-error {actual.max_q_error():.2f}"
+    )
+    return "\n".join(lines)

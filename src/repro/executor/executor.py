@@ -11,17 +11,19 @@ converts into ``cpu_avg`` and the discarded data ratio.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 from ..engine import Database, ExecutionMetrics
 from ..engine.storage import TableStorage
-from ..obs import record_execution_metrics
+from ..obs import PlanEstimate, emit, record_execution_metrics
 from ..optimizer import Optimizer
 from ..optimizer.plan import AccessPath, JoinStep, Plan
 from ..optimizer.query_info import QueryInfo
 from ..optimizer.selectivity import constant_value
-from ..sqlparser import ast, parse
+from ..sqlparser import ast, normalize_statement, parse
+from .analyze import ActualPlanStats
 from .operators import Aggregator, ExprEvaluator
 
 #: Cap on IN-list cartesian expansion for multi-subrange index scans.
@@ -36,6 +38,7 @@ class ExecutionResult:
     rowcount: int = 0                    # affected rows for DML
     metrics: ExecutionMetrics = field(default_factory=ExecutionMetrics)
     plan: Optional[Plan] = None
+    actual: Optional[ActualPlanStats] = None   # EXPLAIN ANALYZE tree
 
     def cpu_seconds(self, params) -> float:
         return self.metrics.cpu_seconds(params)
@@ -50,12 +53,20 @@ class Executor:
         self.db = db
         self.optimizer = Optimizer(db)
 
-    def execute(self, stmt: str | ast.Statement) -> ExecutionResult:
-        """Execute a statement and return rows/rowcount plus metrics."""
+    def execute(
+        self, stmt: str | ast.Statement, analyze: bool = False
+    ) -> ExecutionResult:
+        """Execute a statement and return rows/rowcount plus metrics.
+
+        With ``analyze=True`` (SELECT only) the result additionally
+        carries an :class:`ActualPlanStats` tree of per-operator actuals
+        -- EXPLAIN ANALYZE -- and per-node estimate-vs-actual comparisons
+        are emitted into the decision journal as ``plan_estimate`` events.
+        """
         if isinstance(stmt, str):
             stmt = parse(stmt)
         if isinstance(stmt, ast.Select):
-            result = self._execute_select(stmt)
+            result = self._execute_select(stmt, analyze=analyze)
         elif isinstance(stmt, ast.Insert):
             result = self._execute_insert(stmt)
         elif isinstance(stmt, ast.Update):
@@ -65,16 +76,31 @@ class Executor:
         else:
             raise TypeError(f"cannot execute {type(stmt).__name__}")
         record_execution_metrics(result.metrics, type(stmt).__name__.lower())
+        if result.actual is not None:
+            sql = normalize_statement(stmt).to_sql()
+            for _depth, node in result.actual.walk():
+                emit(PlanEstimate(
+                    sql=sql,
+                    node=node.label,
+                    est_rows=node.est_rows,
+                    actual_rows=node.rows,
+                    q_error=node.q_error,
+                ))
         return result
 
     # -- SELECT ----------------------------------------------------------------
 
-    def _execute_select(self, stmt: ast.Select) -> ExecutionResult:
+    def _execute_select(
+        self, stmt: ast.Select, analyze: bool = False
+    ) -> ExecutionResult:
+        started = time.perf_counter() if analyze else 0.0
         plan = self.optimizer.explain(stmt, materialized_only=True)
         info = plan.info
         metrics = ExecutionMetrics()
         evaluator = ExprEvaluator(info, self.db.schema)
-        pipeline = _Pipeline(self, info, plan, evaluator, metrics)
+        pipeline = _Pipeline(
+            self, info, plan, evaluator, metrics, collect_actuals=analyze
+        )
         stream = pipeline.run()
         # Early termination: when the pipeline already delivers rows in
         # ORDER BY order (no sort planned) and there is no aggregation,
@@ -91,7 +117,15 @@ class Executor:
         scopes = list(stream)
         rows = self._project(stmt, info, evaluator, scopes, metrics)
         metrics.rows_sent = len(rows)
-        return ExecutionResult(rows=rows, rowcount=len(rows), metrics=metrics, plan=plan)
+        result = ExecutionResult(
+            rows=rows, rowcount=len(rows), metrics=metrics, plan=plan
+        )
+        if analyze:
+            result.actual = _actual_tree(
+                plan, pipeline, metrics, len(rows),
+                time.perf_counter() - started,
+            )
+        return result
 
     def _project(
         self,
@@ -321,6 +355,50 @@ class Executor:
                 pipeline.run_with_ids()], plan
 
 
+def _actual_tree(
+    plan: Plan,
+    pipeline: "_Pipeline",
+    metrics: ExecutionMetrics,
+    rows_sent: int,
+    wall_seconds: float,
+) -> ActualPlanStats:
+    """Assemble the EXPLAIN ANALYZE tree from a pipeline's accumulators.
+
+    The left-deep join chain nests drive-side-innermost (the driving scan
+    is the deepest child, like a bottom-up EXPLAIN rendering); an explicit
+    Sort node appears only when the execution actually performed one (a
+    predicted sort may be elided, e.g. by hash aggregation), and the
+    Result root accounts the projected output.
+    """
+    inner: Optional[ActualPlanStats] = None
+    for node in pipeline.nodes:
+        if inner is not None:
+            node.children.append(inner)
+        inner = node
+    if metrics.sort_rows > 0:
+        sort = ActualPlanStats(
+            label="Sort",
+            est_rows=plan.sort_rows if plan.sort_rows > 0 else metrics.sort_rows,
+            est_loops=1.0,
+            rows=metrics.sort_rows,
+            loops=1,
+        )
+        if inner is not None:
+            sort.children.append(inner)
+        inner = sort
+    root = ActualPlanStats(
+        label="Result",
+        est_rows=plan.rows_out,
+        est_loops=1.0,
+        rows=rows_sent,
+        loops=1,
+        wall_seconds=wall_seconds,
+    )
+    if inner is not None:
+        root.children.append(inner)
+    return root
+
+
 def _has_aggregates(stmt: ast.Select) -> bool:
     return any(
         isinstance(node, ast.FuncCall) and node.is_aggregate
@@ -368,13 +446,27 @@ class _Pipeline:
     """Interprets a plan's join pipeline, yielding scopes (binding -> row)."""
 
     def __init__(self, executor: Executor, info: QueryInfo, plan: Plan,
-                 evaluator: ExprEvaluator, metrics: ExecutionMetrics):
+                 evaluator: ExprEvaluator, metrics: ExecutionMetrics,
+                 collect_actuals: bool = False):
         self.executor = executor
         self.db = executor.db
         self.info = info
         self.plan = plan
         self.evaluator = evaluator
         self.metrics = metrics
+        # EXPLAIN ANALYZE accumulators, one per join step (None when off).
+        self.nodes: list[ActualPlanStats] = (
+            [
+                ActualPlanStats(
+                    label=step.path.describe(),
+                    est_rows=step.rows_after,
+                    est_loops=step.executions,
+                )
+                for step in plan.steps
+            ]
+            if collect_actuals
+            else []
+        )
 
     def run(self) -> Iterator[dict]:
         for scope, _ids in self.run_with_ids():
@@ -385,31 +477,57 @@ class _Pipeline:
         if not steps:
             return
         stream = self._drive(steps[0])
+        if self.nodes:
+            self.nodes[0].loops = 1
+            stream = self._observe(stream, self.nodes[0])
         bound = [steps[0].path.binding]
-        for step in steps[1:]:
-            stream = self._join(stream, step, tuple(bound))
+        for i, step in enumerate(steps[1:], start=1):
+            stream = self._join(stream, step, tuple(bound), i)
+            if self.nodes:
+                stream = self._observe(stream, self.nodes[i])
             bound.append(step.path.binding)
         yield from stream
+
+    def _observe(
+        self, stream: Iterator, node: ActualPlanStats
+    ) -> Iterator[tuple[dict, dict]]:
+        """Count rows and inclusive wall time a stage produces/spends."""
+        stream = iter(stream)
+        while True:
+            started = time.perf_counter()
+            try:
+                item = next(stream)
+            except StopIteration:
+                node.wall_seconds += time.perf_counter() - started
+                return
+            node.wall_seconds += time.perf_counter() - started
+            node.rows += 1
+            yield item
 
     # -- scans ---------------------------------------------------------------
 
     def _drive(self, step: JoinStep) -> Iterator[tuple[dict, dict]]:
         path = step.path
-        for row, row_id in self._scan(path, {}):
+        node = self.nodes[0] if self.nodes else None
+        for row, row_id in self._scan(path, {}, node):
             scope = {path.binding: row}
             ids = {path.binding: row_id}
             if self._accept(path.binding, scope, first=True):
                 yield scope, ids
 
     def _join(
-        self, stream: Iterator, step: JoinStep, bound: tuple[str, ...]
+        self, stream: Iterator, step: JoinStep, bound: tuple[str, ...],
+        step_index: int,
     ) -> Iterator[tuple[dict, dict]]:
+        node = self.nodes[step_index] if self.nodes else None
         if step.join_method == "hash":
-            yield from self._hash_join(stream, step, bound)
+            yield from self._hash_join(stream, step, bound, node)
             return
         path = step.path
         for scope, ids in stream:
-            for row, row_id in self._scan(path, scope):
+            if node is not None:
+                node.loops += 1
+            for row, row_id in self._scan(path, scope, node):
                 new_scope = dict(scope)
                 new_scope[path.binding] = row
                 new_ids = dict(ids)
@@ -418,15 +536,18 @@ class _Pipeline:
                     yield new_scope, new_ids
 
     def _hash_join(
-        self, stream: Iterator, step: JoinStep, bound: tuple[str, ...]
+        self, stream: Iterator, step: JoinStep, bound: tuple[str, ...],
+        node: Optional[ActualPlanStats] = None,
     ) -> Iterator[tuple[dict, dict]]:
         binding = step.path.binding
         edges = [
             e for e in self.info.join_edges
             if e.touches(binding) and e.other(binding)[0] in bound
         ]
+        if node is not None:
+            node.loops += 1      # one build-side scan
         table: dict[tuple, list[tuple[dict, int]]] = {}
-        for row, row_id in self._scan(step.path, {}):
+        for row, row_id in self._scan(step.path, {}, node):
             scope = {binding: row}
             if not self._filters_ok(binding, scope):
                 continue
@@ -444,27 +565,36 @@ class _Pipeline:
                 if self._accept(binding, new_scope, bound=bound, skip_filters=True):
                     yield new_scope, new_ids
 
-    def _scan(self, path: AccessPath, outer_scope: dict) -> Iterator[tuple[dict, int]]:
+    def _scan(
+        self, path: AccessPath, outer_scope: dict,
+        node: Optional[ActualPlanStats] = None,
+    ) -> Iterator[tuple[dict, int]]:
         storage = self.db._storage_for(path.table)
         if path.method == "seq":
-            yield from self._seq_scan(storage)
+            yield from self._seq_scan(storage, node)
             return
-        yield from self._index_scan(path, storage, outer_scope)
+        yield from self._index_scan(path, storage, outer_scope, node)
 
-    def _seq_scan(self, storage: TableStorage) -> Iterator[tuple[dict, int]]:
+    def _seq_scan(
+        self, storage: TableStorage, node: Optional[ActualPlanStats] = None
+    ) -> Iterator[tuple[dict, int]]:
         params = self.db.params
-        self.metrics.seq_pages += params.pages_for(
-            storage.row_count, storage.table.row_width
-        )
+        pages = params.pages_for(storage.row_count, storage.table.row_width)
+        self.metrics.seq_pages += pages
+        if node is not None:
+            node.pages_read += pages
         for row_id in list(storage.all_row_ids()):
             row = storage.rows.get(row_id)
             if row is None:
                 continue
             self.metrics.rows_read += 1
+            if node is not None:
+                node.rows_scanned += 1
             yield row, row_id
 
     def _index_scan(
-        self, path: AccessPath, storage: TableStorage, outer_scope: dict
+        self, path: AccessPath, storage: TableStorage, outer_scope: dict,
+        node: Optional[ActualPlanStats] = None,
     ) -> Iterator[tuple[dict, int]]:
         structure = (
             storage.pk_index
@@ -473,7 +603,7 @@ class _Pipeline:
         )
         if structure is None:
             # Index vanished between planning and execution; degrade safely.
-            yield from self._seq_scan(storage)
+            yield from self._seq_scan(storage, node)
             return
         reverse = self._reverse_scan(path)
         if path.skip_scan:
@@ -488,6 +618,8 @@ class _Pipeline:
             low, high, low_inc, high_inc = self._range_bounds(path)
         for prefix in prefixes:
             self.metrics.random_pages += 1   # descent to the leaf level
+            if node is not None:
+                node.pages_read += 1
             entries = 0
             # Range bounds bind the key column right after the eq prefix;
             # they only apply when the whole prefix is concrete.
@@ -508,13 +640,18 @@ class _Pipeline:
                 self.metrics.index_entries_read += 1
                 if not path.covering:
                     self.metrics.random_pages += 1
+                    if node is not None:
+                        node.pages_read += 1
                 self.metrics.rows_read += 1
+                if node is not None:
+                    node.rows_scanned += 1
                 yield row, row_id
             if path.method == "index":
                 entry_width = path.index.entry_width(storage.table)
-                self.metrics.seq_pages += self.db.params.pages_for(
-                    entries, entry_width
-                )
+                leaf_pages = self.db.params.pages_for(entries, entry_width)
+                self.metrics.seq_pages += leaf_pages
+                if node is not None:
+                    node.pages_read += leaf_pages
 
     def _reverse_scan(self, path: AccessPath) -> bool:
         return bool(

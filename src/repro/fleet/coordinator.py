@@ -14,7 +14,7 @@ from typing import Optional
 
 from ..core import AimConfig, ContinuousTuner, TuningCycleResult
 from ..engine import Database
-from ..obs import get_registry, trace
+from ..obs import IndexRollback, emit, get_registry, trace
 from ..workload import SelectionPolicy
 from .regression import ContinuousRegressionDetector
 from .replica import ReplicaSet
@@ -99,10 +99,18 @@ class FleetCoordinator:
         managed = self.managed[name]
         monitor = self.warehouse.monitor_for(name)
         with trace("fleet.check_regressions", database=name) as span:
-            events = managed.detector.observe_window(monitor)
+            events = managed.detector.observe_window(monitor, database=name)
             flagged = managed.detector.flagged_for_removal(events)
             for index in flagged:
                 managed.replica_set.primary.db.drop_index(index)
+                emit(
+                    IndexRollback(
+                        index=index.name,
+                        table=index.table,
+                        database=name,
+                        reason="regression",
+                    )
+                )
             if flagged:
                 managed.replica_set.apply_ddl()
             span.set(events=len(events), reverted=len(flagged))

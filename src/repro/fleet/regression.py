@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..catalog import Index
-from ..obs import counter
+from ..obs import RegressionFlagged, counter, emit
+from ..sqlparser import ast, parse
 from ..workload import WorkloadMonitor
 
 _WINDOWS = counter(
@@ -22,6 +23,30 @@ _WINDOWS = counter(
 _EVENTS = counter(
     "regression.events_detected", "per-query regressions flagged"
 ).labels()
+
+
+def _referenced_tables(*sql_texts: str) -> set[str]:
+    """Table names a query actually references, from its parsed AST.
+
+    Substring matching (``idx.table in sql``) false-positives whenever a
+    table's name happens to occur inside another identifier or a string
+    literal (``user`` vs ``user_events``), mis-attributing regressions to
+    innocent indexes.  Parsing sidesteps that; unparseable text
+    contributes nothing.
+    """
+    tables: set[str] = set()
+    for sql in sql_texts:
+        if not sql:
+            continue
+        try:
+            stmt = parse(sql)
+        except Exception:
+            continue
+        if isinstance(stmt, ast.Select):
+            tables.update(ref.name for ref in stmt.all_table_refs())
+        elif isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+            tables.add(stmt.table.name)
+    return tables
 
 
 @dataclass
@@ -58,13 +83,17 @@ class ContinuousRegressionDetector:
         """
         self._recent_ddl[index.name] = (index, self.suspect_windows)
 
-    def observe_window(self, monitor: WorkloadMonitor) -> list[RegressionEvent]:
+    def observe_window(
+        self, monitor: WorkloadMonitor, database: str = ""
+    ) -> list[RegressionEvent]:
         """Compare this window's cpu_avg per query with the baseline.
 
         The baseline updates to the current window afterwards (rolling);
-        recently created indexes are attached to any regression touching
-        their table and age off the suspect list after
-        ``suspect_windows`` windows.
+        recently created indexes are attached to any regression whose
+        query *references* their table (parsed, not substring-matched)
+        and age off the suspect list after ``suspect_windows`` windows.
+        Each detected regression is journaled as a ``regression_flagged``
+        event.
         """
         events: list[RegressionEvent] = []
         current: dict[str, float] = {}
@@ -77,16 +106,25 @@ class ContinuousRegressionDetector:
             if baseline is None or baseline <= 0:
                 continue
             if stats.cpu_avg > baseline * self.regression_threshold:
-                suspects = [
-                    idx for idx in recent
-                    if idx.table in normalized or idx.table in stats.example_sql
-                ]
-                events.append(
-                    RegressionEvent(
+                tables = _referenced_tables(normalized, stats.example_sql)
+                suspects = [idx for idx in recent if idx.table in tables]
+                event = RegressionEvent(
+                    normalized_sql=normalized,
+                    before_cpu_avg=baseline,
+                    after_cpu_avg=stats.cpu_avg,
+                    suspect_indexes=suspects or recent,
+                )
+                events.append(event)
+                emit(
+                    RegressionFlagged(
                         normalized_sql=normalized,
                         before_cpu_avg=baseline,
                         after_cpu_avg=stats.cpu_avg,
-                        suspect_indexes=suspects or recent,
+                        ratio=event.ratio,
+                        suspects=tuple(
+                            idx.name for idx in event.suspect_indexes
+                        ),
+                        database=database,
                     )
                 )
         _WINDOWS.inc()

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..engine import ExecutionMetrics
-from ..obs import get_registry
+from ..obs import WorkloadDigest, emit, get_registry
 from ..workload import QueryStatistics, WorkloadMonitor
 from .replica import ReplicaSet
 
@@ -97,15 +97,26 @@ class StatsExportDaemon:
 
         Returns the number of exported records.  Replica monitors reset
         after export (per-interval statistics, like a statement digest
-        flush).
+        flush).  Each non-empty window also journals a
+        ``workload_digest`` event summarizing what was exported.
         """
         exported = 0
+        window = WorkloadMonitor()
         for replica in self.replica_set.replicas:
             records = list(replica.monitor.stats.values())
             if records:
                 self.channel.publish(self.database, records)
                 exported += len(records)
+                window.merge(replica.monitor)
             replica.monitor.clear()
+        if exported:
+            emit(
+                WorkloadDigest(
+                    database=self.database,
+                    window=self.export_runs,
+                    **window.digest(),
+                )
+            )
         self.export_runs += 1
         get_registry().counter(
             "fleet.stats.records_exported", "records drained to the warehouse"

@@ -1,24 +1,46 @@
 """Telemetry for the AIM reproduction (see ``docs/OBSERVABILITY.md``).
 
-Two complementary instruments share this package:
+Three complementary instruments share this package:
 
 * :mod:`~repro.obs.tracer` -- hierarchical spans answering *where did the
   time go* (advisor phases, baseline runs, fleet sweeps), exportable as
   nested JSON or Chrome ``trace_event`` files;
 * :mod:`~repro.obs.metrics` -- a process-wide registry of labeled
   counters/gauges/histograms answering *how often and how much*
-  (optimizer invocations per phase, what-if cache hits, page I/O).
+  (optimizer invocations per phase, what-if cache hits, page I/O);
+* :mod:`~repro.obs.events` -- an append-only, schema-versioned decision
+  journal answering *why does the database look the way it does*
+  (advisor accept/reject decisions, tuning cycles, applied DDL,
+  regression flags/rollbacks, workload digests), serialized as JSONL and
+  rendered by ``repro.cli fleet-report``.
 
-Both have a process-wide default instance so instrumented library code
-stays dependency-free: ``with trace("advisor.ranking"): ...`` and
-``counter("optimizer.calls").inc()`` record into whatever tracer/registry
-is current.  :func:`telemetry_snapshot` bundles both into the JSON block
+All three have a process-wide default instance so instrumented library
+code stays dependency-free: ``with trace("advisor.ranking"): ...``,
+``counter("optimizer.calls").inc()`` and ``emit(AdvisorDecision(...))``
+record into whatever tracer/registry/journal is current.
+:func:`telemetry_snapshot` bundles tracer + registry into the JSON block
 benches and the CLI attach to their results; :func:`reset_telemetry`
-clears both between runs.
+clears all three between runs (a journal's bound file is never touched).
 """
 
 from __future__ import annotations
 
+from .events import (
+    AdvisorDecision,
+    CycleEnd,
+    CycleStart,
+    DdlApplied,
+    EventJournal,
+    IndexRollback,
+    PlanEstimate,
+    RegressionFlagged,
+    WorkloadDigest,
+    decode_event,
+    emit,
+    get_journal,
+    read_events,
+    set_journal,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -41,19 +63,33 @@ from .tracer import (
 )
 
 __all__ = [
+    "AdvisorDecision",
     "Counter",
+    "CycleEnd",
+    "CycleStart",
+    "DdlApplied",
+    "EventJournal",
     "Gauge",
     "Histogram",
+    "IndexRollback",
     "MetricsRegistry",
+    "PlanEstimate",
+    "RegressionFlagged",
     "Span",
     "Tracer",
+    "WorkloadDigest",
     "counter",
+    "decode_event",
+    "emit",
     "gauge",
     "histogram",
+    "get_journal",
     "get_registry",
+    "set_journal",
     "set_registry",
     "get_tracer",
     "set_tracer",
+    "read_events",
     "trace",
     "traced",
     "load_chrome_trace",
@@ -73,9 +109,12 @@ def telemetry_snapshot() -> dict:
 
 
 def reset_telemetry() -> None:
-    """Zero the process-wide registry and tracer (between runs/tests)."""
+    """Zero the process-wide registry, tracer and journal buffer (between
+    runs/tests).  A journal's bound JSONL file is left untouched -- only
+    the in-memory view resets."""
     get_registry().reset()
     get_tracer().reset()
+    get_journal().reset()
 
 
 def record_execution_metrics(metrics, kind: str = "select") -> None:

@@ -12,7 +12,7 @@ cost, rows read and rows sent.  Two feeding modes exist:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..engine import Database, ExecutionMetrics
@@ -66,16 +66,30 @@ class WorkloadMonitor:
         for normalized, entry in other.stats.items():
             mine = self.stats.get(normalized)
             if mine is None:
-                self.stats[normalized] = QueryStatistics(
-                    normalized_sql=entry.normalized_sql,
-                    executions=entry.executions,
-                    total_cpu=entry.total_cpu,
-                    rows_read=entry.rows_read,
-                    rows_sent=entry.rows_sent,
-                    example_sql=entry.example_sql,
-                )
+                self.stats[normalized] = replace(entry)
             else:
                 mine.merge(entry)
+
+    def digest(self, top: int = 5) -> dict:
+        """Aggregate snapshot of the current window, shaped for the
+        ``workload_digest`` journal event (see ``repro.obs.events``)."""
+        entries = list(self.stats.values())
+        return {
+            "queries": len(entries),
+            "executions": sum(s.executions for s in entries),
+            "total_cpu": sum(s.total_cpu for s in entries),
+            "rows_read": sum(s.rows_read for s in entries),
+            "rows_sent": sum(s.rows_sent for s in entries),
+            "top": tuple(
+                {
+                    "sql": s.normalized_sql,
+                    "executions": s.executions,
+                    "cpu_avg": s.cpu_avg,
+                    "benefit": s.expected_benefit,
+                }
+                for s in self.top_by_benefit(limit=top)
+            ),
+        }
 
     def clear(self) -> None:
         self.stats.clear()
@@ -89,8 +103,8 @@ class MonitoredExecutor:
         self.executor = Executor(db)
         self.monitor = monitor or WorkloadMonitor()
 
-    def execute(self, sql: str) -> ExecutionResult:
-        result = self.executor.execute(sql)
+    def execute(self, sql: str, analyze: bool = False) -> ExecutionResult:
+        result = self.executor.execute(sql, analyze=analyze)
         cpu = result.metrics.cpu_seconds(self.db.params)
         self.monitor.record_execution(sql, result.metrics, cpu)
         return result

@@ -140,6 +140,28 @@ def test_chrome_trace_export_round_trip(tracer):
         assert span.dur_us == pytest.approx(originals[name] * 1e6, rel=1e-6)
 
 
+def test_chrome_trace_file_round_trip(tmp_path, tracer):
+    """write_chrome_trace -> load_chrome_trace yields the same spans."""
+    with tracer.span("advisor.recommend", queries=4):
+        with tracer.span("advisor.ranking", ranked=11):
+            pass
+        with tracer.span("advisor.knapsack"):
+            pass
+    path = tmp_path / "trace.json"
+    tracer.write_chrome_trace(str(path))
+    with open(path) as fh:
+        payload = json.load(fh)
+    spans = load_chrome_trace(payload)
+    originals = tracer.spans()
+    assert {s.name for s in spans} == {s.name for s in originals}
+    by_name = {s.name: s for s in spans}
+    assert by_name["advisor.recommend"].args == {"queries": 4}
+    assert by_name["advisor.ranking"].args == {"ranked": 11}
+    durations = {s.name: s.duration for s in originals}
+    for name, span in by_name.items():
+        assert span.dur_us == pytest.approx(durations[name] * 1e6, rel=1e-6)
+
+
 def test_nested_json_export(tracer):
     with tracer.span("a"):
         with tracer.span("b"):
