@@ -22,6 +22,11 @@ Subcommands (the bare flag form above implies ``advise``):
   (decision audit, regression timeline, digest time series, top
   estimation errors) from a decision journal written by an instrumented
   run; ``--json`` emits the structured sections.
+* ``fuzz`` -- run the deterministic workload fuzzer and differential /
+  metamorphic oracles of :mod:`repro.qa` (``--seed``, ``--iters``,
+  ``--oracles``, ``--shrink``); failing cases are minimized and written
+  to ``qa_failures/`` and re-run with ``--replay FILE``.  See
+  ``docs/TESTING.md``.
 
 Workload file format: statements separated by ``;``.  A comment line
 ``-- weight: <number>`` immediately before a statement sets its weight
@@ -273,11 +278,39 @@ def make_explain_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def make_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli fuzz",
+        description="Deterministic workload fuzzer with differential and "
+                    "metamorphic oracles (repro.qa).",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; case i uses seed+i (default 0)")
+    parser.add_argument("--iters", type=int, default=100,
+                        help="number of cases to generate (default 100)")
+    parser.add_argument("--oracles", default=None, metavar="NAMES",
+                        help="comma-separated oracle subset "
+                             "(default: all)")
+    parser.add_argument("--shrink", action="store_true",
+                        help="minimize failing cases before writing them")
+    parser.add_argument("--out", default="qa_failures",
+                        help="directory for failure repro files "
+                             "(default qa_failures)")
+    parser.add_argument("--max-failures", type=int, default=5,
+                        help="stop after this many failing cases (default 5)")
+    parser.add_argument("--replay", default=None, metavar="FILE",
+                        help="re-run the oracles against a persisted "
+                             "qa_failures file instead of fuzzing")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    return parser
+
+
 #: Options of the advise parser that consume a value (subcommand scan).
 _VALUE_FLAGS = {
     "--trace", "--schema", "--workload", "--budget", "--rows",
     "--default-rows", "--engine", "--join-parameter", "--max-width",
     "--algorithm", "--format", "--sql", "--seed",
+    "--iters", "--oracles", "--out", "--max-failures", "--replay",
 }
 
 
@@ -296,7 +329,9 @@ def _split_command(argv: list[str]) -> tuple[str, list[str]]:
         elif token.startswith("-"):
             i += 1
         else:
-            if token in ("advise", "obs-report", "explain", "fleet-report"):
+            if token in (
+                "advise", "obs-report", "explain", "fleet-report", "fuzz"
+            ):
                 return token, argv[:i] + argv[i + 1:]
             return "advise", argv
     return "advise", argv
@@ -406,6 +441,75 @@ def fleet_report(argv: Sequence[str]) -> int:
     return 0
 
 
+def fuzz(argv: Sequence[str]) -> int:
+    """``repro.cli fuzz``: deterministic fuzzing with the qa oracles.
+
+    Exit status: 0 when every oracle held on every case, 1 when at
+    least one violation was found (repro files land in ``--out``),
+    2 on usage errors.
+    """
+    from .qa import ORACLES, replay_case, run_fuzz
+
+    args = make_fuzz_parser().parse_args(list(argv))
+    names = None
+    if args.oracles:
+        names = [n.strip() for n in args.oracles.split(",") if n.strip()]
+        unknown = [n for n in names if n not in ORACLES]
+        if unknown:
+            print(f"error: unknown oracle(s) {', '.join(unknown)}; "
+                  f"choose from {', '.join(sorted(ORACLES))}",
+                  file=sys.stderr)
+            return 2
+
+    if args.replay is not None:
+        try:
+            report = replay_case(args.replay, oracles=names)
+        except (OSError, KeyError, ValueError,
+                json.JSONDecodeError) as exc:
+            print(f"error: cannot replay {args.replay}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        if args.iters < 1:
+            print("error: --iters must be >= 1", file=sys.stderr)
+            return 2
+
+        def progress(done: int, total: int, failures: int) -> None:
+            if done % 50 == 0 or done == total:
+                print(f"fuzz: {done}/{total} cases, "
+                      f"{failures} failing", file=sys.stderr)
+
+        report = run_fuzz(
+            seed=args.seed,
+            iters=args.iters,
+            oracles=names,
+            shrink=args.shrink,
+            out_dir=args.out,
+            max_failures=args.max_failures,
+            progress=progress if args.format == "text" else None,
+        )
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    if report.ok:
+        print(f"OK: {report.cases_run} cases x "
+              f"{len(report.oracle_names)} oracles, no violations "
+              f"(seed {report.seed})")
+        return 0
+    print(f"FAIL: {len(report.violations)} violation(s) across "
+          f"{report.cases_run} cases (seed {report.seed})")
+    for violation in report.violations:
+        stmt = f" [{violation.statement}]" if violation.statement else ""
+        print(f"  {violation.oracle} seed={violation.seed}{stmt}: "
+              f"{violation.detail}")
+    for path in report.failure_files:
+        print(f"  repro written: {path}")
+    if report.stopped_early:
+        print("  (stopped early: --max-failures reached)")
+    return 1
+
+
 def _write_trace(path: Optional[str]) -> int:
     if path:
         try:
@@ -425,6 +529,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return explain(argv)
     if command == "fleet-report":
         return fleet_report(argv)
+    if command == "fuzz":
+        return fuzz(argv)
     args = make_parser().parse_args(argv)
     row_counts: dict[str, int] = {}
     for hint in args.rows:

@@ -153,7 +153,13 @@ class RangeColumnChooser:
         group: PredicateGroup,
         table: str,
     ) -> Optional[str]:
-        candidates = sorted(group.range_columns)
+        # A column already equality-bound in C_IPP is pinned by the
+        # prefix; its range predicates are residual and it cannot also
+        # be the trailing range column (<C_IPP, {c}> must be duplicate
+        # free).
+        candidates = sorted(
+            c for c in group.range_columns if c not in group.ipp_columns
+        )
         if not candidates:
             return None
         if len(candidates) == 1:

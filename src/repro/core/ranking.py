@@ -128,7 +128,9 @@ def rank_candidates(
         if total_saved <= 0:
             # The plan improved without attributable index I/O savings
             # (e.g. sort elision only); split equally across used indexes.
-            used = [n for n in plan.used_indexes if n in ranked]
+            # Sorted: used_indexes is a set, and the attribution order
+            # below must not depend on the process hash seed.
+            used = sorted(n for n in plan.used_indexes if n in ranked)
             savings = {n: 1.0 for n in used}
             total_saved = float(len(used))
         used_prefixes: dict[str, frozenset[str]] = {}

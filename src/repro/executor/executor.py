@@ -140,13 +140,17 @@ class Executor:
         else:
             rows = [self._emit(stmt, info, evaluator, scope) for scope in scopes]
             if stmt.distinct:
+                # Keep each surviving row's *own* scope: ORDER BY keys are
+                # computed from scopes, so rows and scopes must stay paired.
                 seen: set = set()
                 unique = []
-                for row in rows:
+                unique_scopes = []
+                for row, scope in zip(rows, scopes):
                     if row not in seen:
                         seen.add(row)
                         unique.append(row)
-                rows = unique
+                        unique_scopes.append(scope)
+                rows, scopes = unique, unique_scopes
             if stmt.order_by:
                 rows = self._order(stmt, info, evaluator, scopes, rows, metrics)
         rows = self._apply_limit(stmt, rows)
@@ -616,10 +620,15 @@ class _Pipeline:
         else:
             prefixes = self._prefix_values(path, outer_scope)
             low, high, low_inc, high_inc = self._range_bounds(path)
+        # One random page per scan invocation reaches the leaf level: the
+        # first probe's descent warms the internal B-tree nodes, so the
+        # remaining prefixes (IN-list combinations) descend through cached
+        # pages.  Leaf I/O is charged separately below from the entries
+        # actually read, mirroring the optimizer's cost model.
+        self.metrics.random_pages += 1
+        if node is not None:
+            node.pages_read += 1
         for prefix in prefixes:
-            self.metrics.random_pages += 1   # descent to the leaf level
-            if node is not None:
-                node.pages_read += 1
             entries = 0
             # Range bounds bind the key column right after the eq prefix;
             # they only apply when the whole prefix is concrete.

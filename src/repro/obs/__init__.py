@@ -32,6 +32,7 @@ from .events import (
     DdlApplied,
     EventJournal,
     IndexRollback,
+    OracleViolation,
     PlanEstimate,
     RegressionFlagged,
     WorkloadDigest,
@@ -73,6 +74,7 @@ __all__ = [
     "Histogram",
     "IndexRollback",
     "MetricsRegistry",
+    "OracleViolation",
     "PlanEstimate",
     "RegressionFlagged",
     "Span",

@@ -43,6 +43,7 @@ __all__ = [
     "RegressionFlagged",
     "IndexRollback",
     "PlanEstimate",
+    "OracleViolation",
     "EventJournal",
     "get_journal",
     "set_journal",
@@ -190,6 +191,26 @@ class PlanEstimate:
     q_error: float = 1.0
 
 
+@dataclass(frozen=True)
+class OracleViolation:
+    """A ``repro.qa`` fuzz oracle caught an invariant violation.
+
+    Emitted by the fuzz runner for every violation so journals from
+    nightly fuzz runs are auditable with the same tooling as advisor
+    decisions (new event type, schema version unchanged per the
+    append-only versioning rules).
+    """
+
+    TYPE: ClassVar[str] = "oracle_violation"
+
+    oracle: str                 # 'differential' | 'selectivity' | ...
+    seed: int = 0               # the generator seed of the failing case
+    statement: str = ""
+    detail: str = ""
+    shrunk: bool = False        # a minimized repro was produced
+    case_file: str = ""         # path of the serialized repro, if written
+
+
 EVENT_TYPES: dict[str, type] = {
     cls.TYPE: cls
     for cls in (
@@ -201,6 +222,7 @@ EVENT_TYPES: dict[str, type] = {
         RegressionFlagged,
         IndexRollback,
         PlanEstimate,
+        OracleViolation,
     )
 }
 

@@ -23,13 +23,26 @@ from .optimizer import Optimizer, Statement
 from .plan import Plan
 from .query_info import QueryInfo
 
-_WHATIF_EVALS = counter(
-    "whatif.evaluations", "what-if plan requests (cached + uncached)"
-).labels()
-_WHATIF_HITS = counter("whatif.cache_hits", "what-if plan cache hits").labels()
-_WHATIF_COST = histogram(
-    "whatif.plan_cost", "plan costs of uncached what-if evaluations"
-).labels()
+# Metric handles are resolved at call time: binding them at import time
+# would pin them to whatever registry was current when this module first
+# loaded, silently diverging from ``CostEvaluator.cache_hits`` after a
+# ``set_registry`` swap.
+
+
+def _whatif_evals():
+    return counter(
+        "whatif.evaluations", "what-if plan requests (cached + uncached)"
+    ).labels()
+
+
+def _whatif_hits():
+    return counter("whatif.cache_hits", "what-if plan cache hits").labels()
+
+
+def _whatif_cost():
+    return histogram(
+        "whatif.plan_cost", "plan costs of uncached what-if evaluations"
+    ).labels()
 
 
 class CostEvaluator:
@@ -75,15 +88,15 @@ class CostEvaluator:
         tables = set(info.bindings.values())
         relevant = [idx.as_dataless() for idx in config if idx.table in tables]
         key = (info.stmt.to_sql(), frozenset(idx.name for idx in relevant))
-        _WHATIF_EVALS.inc()
+        _whatif_evals().inc()
         cached = self._plan_cache.get(key)
         if cached is not None:
             self.cache_hits += 1
-            _WHATIF_HITS.inc()
+            _whatif_hits().inc()
             return cached
         plan = self.optimizer.explain(info, extra_indexes=relevant)
         self._plan_cache[key] = plan
-        _WHATIF_COST.observe(plan.total_cost)
+        _whatif_cost().observe(plan.total_cost)
         return plan
 
     def cost(self, stmt: Statement, config: Collection[Index] = ()) -> float:

@@ -1,0 +1,38 @@
+"""``repro.qa``: deterministic workload fuzzing and differential oracles.
+
+The safety net behind ``repro fuzz`` (see ``docs/TESTING.md``):
+
+* :mod:`repro.qa.generator` -- seed-deterministic schemas, adversarial
+  data distributions, and dialect-conformant SQL workloads;
+* :mod:`repro.qa.reference` -- a naive full-scan interpreter used as the
+  differential ground truth for ``repro.executor``;
+* :mod:`repro.qa.oracles` -- differential plus metamorphic invariants
+  over the optimizer (selectivity, cost monotonicity, what-if parity)
+  and the advisor (budget, Eq. 3 gate, no executed regressions);
+* :mod:`repro.qa.shrink` -- greedy minimization of failing cases;
+* :mod:`repro.qa.runner` -- the fuzz loop, failure persistence into
+  ``qa_failures/``, and replay.
+"""
+
+from .generator import Case, GenConfig, generate_case
+from .oracles import ORACLES, OracleConfig, Violation, run_oracles
+from .reference import ReferenceDatabase, RefResult
+from .runner import FuzzReport, replay_case, run_fuzz, write_failure
+from .shrink import shrink_case
+
+__all__ = [
+    "Case",
+    "FuzzReport",
+    "GenConfig",
+    "ORACLES",
+    "OracleConfig",
+    "ReferenceDatabase",
+    "RefResult",
+    "Violation",
+    "generate_case",
+    "replay_case",
+    "run_fuzz",
+    "run_oracles",
+    "shrink_case",
+    "write_failure",
+]

@@ -1,0 +1,508 @@
+"""Naive reference interpreter: the differential oracle's ground truth.
+
+Executes parsed statements by brute force -- full scans, cartesian
+products, no indexes, no optimizer -- over its own copy of the rows.
+It shares **no code** with ``repro.executor`` beyond the AST, so a bug
+in the engine's planner, scan operators, or expression evaluation shows
+up as a row-level disagreement rather than being faithfully mirrored.
+
+The semantics intentionally match the engine's documented SQL subset:
+
+* comparisons involving NULL are not satisfied (``<=>`` is NULL-safe);
+* ``=`` compares mixed types through their string forms;
+* ``LIKE`` translates ``%``/``_`` into a regex over ``str()`` values;
+* ORDER BY sorts NULLs first ascending, numbers before strings;
+* ``SELECT *`` expands each binding's columns in table order;
+* a global aggregate over zero rows yields one row (COUNT = 0, others
+  NULL); DISTINCT keeps first occurrences in input order;
+* LIMIT/OFFSET apply after sorting.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..catalog import Table
+from ..sqlparser import ast, parse
+
+
+class ReferenceError(Exception):
+    """The reference interpreter cannot evaluate a statement."""
+
+
+@dataclass
+class RefResult:
+    rows: list[tuple] = field(default_factory=list)
+    rowcount: int = 0
+    ordered: bool = False        # the statement had an ORDER BY
+    keys_unique: bool = False    # ... whose keys formed a total order
+
+
+def _sql_eq(left: Any, right: Any) -> bool:
+    if left is None or right is None:
+        return False
+    if isinstance(left, bool) or isinstance(right, bool):
+        return left == right
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left == right
+    if type(left) is not type(right):
+        return str(left) == str(right)
+    return left == right
+
+
+def _like(value: str, pattern: str) -> bool:
+    regex = re.escape(pattern).replace(r"%", ".*").replace(r"_", ".")
+    return re.match(f"^{regex}$", value, re.DOTALL) is not None
+
+
+def _sort_key(value: Any, desc: bool):
+    none_rank = 0 if value is None else 1
+    if value is None:
+        payload: Any = 0
+    elif isinstance(value, bool):
+        payload = int(value)
+    elif isinstance(value, (int, float)):
+        payload = value
+    else:
+        payload = str(value)
+    type_rank = 0 if isinstance(payload, (int, float)) else 1
+    if desc:
+        none_rank = -none_rank
+        type_rank = -type_rank
+        payload = _Inverted(payload)
+    return (none_rank, type_rank, payload)
+
+
+class _Inverted:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other: "_Inverted") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Inverted) and other.value == self.value
+
+
+class ReferenceDatabase:
+    """A dict-of-rows store evaluated by exhaustive interpretation."""
+
+    def __init__(self, tables: list[Table], rows: dict[str, list[dict]]):
+        self.tables = {t.name: t for t in tables}
+        self.store: dict[str, list[dict]] = {
+            t.name: [dict(r) for r in rows.get(t.name, [])] for t in tables
+        }
+
+    # -- entry point -----------------------------------------------------------
+
+    def execute(self, stmt: "str | ast.Statement") -> RefResult:
+        if isinstance(stmt, str):
+            stmt = parse(stmt)
+        if isinstance(stmt, ast.Select):
+            return self._select(stmt)
+        if isinstance(stmt, ast.Insert):
+            return self._insert(stmt)
+        if isinstance(stmt, ast.Update):
+            return self._update(stmt)
+        if isinstance(stmt, ast.Delete):
+            return self._delete(stmt)
+        raise ReferenceError(f"cannot execute {type(stmt).__name__}")
+
+    def table_rows(self, table: str) -> list[dict]:
+        return self.store[table]
+
+    # -- SELECT ----------------------------------------------------------------
+
+    def _select(self, stmt: ast.Select) -> RefResult:
+        bindings = self._bindings(stmt)
+        condition = self._combined_condition(stmt)
+        scopes = self._product(bindings, condition)
+        keys_unique = False
+        if stmt.group_by or _has_aggregates(stmt):
+            rows, keys_unique = self._aggregate(stmt, bindings, scopes)
+        else:
+            rows = [self._emit(stmt, bindings, scope) for scope in scopes]
+            if stmt.distinct:
+                seen: set = set()
+                unique = []
+                unique_scopes = []
+                for row, scope in zip(rows, scopes):
+                    if row not in seen:
+                        seen.add(row)
+                        unique.append(row)
+                        unique_scopes.append(scope)
+                rows, scopes = unique, unique_scopes
+            if stmt.order_by:
+                keyed = [
+                    (self.order_key(stmt, bindings, scope), row)
+                    for scope, row in zip(scopes, rows)
+                ]
+                keyed.sort(key=lambda pair: pair[0])
+                rows = [row for _key, row in keyed]
+                keys_unique = _all_keys_distinct([key for key, _row in keyed])
+        offset = stmt.offset or 0
+        if stmt.limit is not None and stmt.limit >= 0:
+            rows = rows[offset: offset + stmt.limit]
+        elif offset:
+            rows = rows[offset:]
+        return RefResult(
+            rows=rows, rowcount=len(rows),
+            ordered=bool(stmt.order_by), keys_unique=keys_unique,
+        )
+
+    def _bindings(self, stmt: ast.Select) -> dict[str, str]:
+        out: dict[str, str] = {}
+        for ref in stmt.tables:
+            out[ref.binding] = ref.name
+        for join in stmt.joins:
+            out[join.table.binding] = join.table.name
+        for name in out.values():
+            if name not in self.tables:
+                raise ReferenceError(f"unknown table {name!r}")
+        return out
+
+    def _combined_condition(self, stmt: ast.Select) -> Optional[ast.Expr]:
+        conjuncts: list[ast.Expr] = []
+        if stmt.where is not None:
+            conjuncts.append(stmt.where)
+        for join in stmt.joins:
+            if join.kind not in ("INNER", "CROSS", "STRAIGHT"):
+                raise ReferenceError(f"unsupported join kind {join.kind}")
+            if join.condition is not None:
+                conjuncts.append(join.condition)
+        if not conjuncts:
+            return None
+        if len(conjuncts) == 1:
+            return conjuncts[0]
+        return ast.And(tuple(conjuncts))
+
+    def _product(
+        self, bindings: dict[str, str], condition: Optional[ast.Expr]
+    ) -> list[dict]:
+        names = list(bindings)
+        scopes: list[dict] = [{}]
+        for binding in names:
+            rows = self.store[bindings[binding]]
+            scopes = [
+                {**scope, binding: row} for scope in scopes for row in rows
+            ]
+        return [
+            scope for scope in scopes
+            if self._truth(condition, scope, bindings)
+        ]
+
+    def order_key(self, stmt: ast.Select, bindings: dict[str, str],
+                  scope: dict) -> tuple:
+        return tuple(
+            _sort_key(self._value(o.expr, scope, bindings), o.desc)
+            for o in stmt.order_by
+        )
+
+    def _emit(self, stmt: ast.Select, bindings: dict[str, str],
+              scope: dict) -> tuple:
+        out: list[Any] = []
+        for item in stmt.items:
+            if isinstance(item.expr, ast.Star):
+                expand = [item.expr.table] if item.expr.table else list(bindings)
+                for binding in expand:
+                    table = self.tables[bindings[binding]]
+                    row = scope[binding]
+                    out.extend(row.get(c) for c in table.column_names)
+            else:
+                out.append(self._value(item.expr, scope, bindings))
+        return tuple(out)
+
+    # -- aggregation -----------------------------------------------------------
+
+    def _aggregate(self, stmt: ast.Select, bindings: dict[str, str],
+                   scopes: list[dict]) -> tuple[list[tuple], bool]:
+        groups: dict[tuple, list[dict]] = {}
+        order: list[tuple] = []
+        for scope in scopes:
+            key = tuple(
+                self._value(expr, scope, bindings) for expr in stmt.group_by
+            ) if stmt.group_by else ()
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(scope)
+        if not groups and not stmt.group_by:
+            groups[()] = []
+            order.append(())
+        emitted: list[list[dict]] = []
+        for key in order:
+            group = groups[key]
+            if stmt.having is not None and not self._having(
+                stmt.having, group, bindings
+            ):
+                continue
+            emitted.append(group)
+        rows = [
+            tuple(
+                self._agg_value(item.expr, group, bindings)
+                for item in stmt.items
+                if not isinstance(item.expr, ast.Star)
+            )
+            for group in emitted
+        ]
+        keys_unique = False
+        if stmt.order_by:
+            keyed = [
+                (
+                    tuple(
+                        _sort_key(
+                            self._agg_value(o.expr, group, bindings), o.desc
+                        )
+                        for o in stmt.order_by
+                    ),
+                    row,
+                )
+                for group, row in zip(emitted, rows)
+            ]
+            keyed.sort(key=lambda pair: pair[0])
+            rows = [row for _key, row in keyed]
+            keys_unique = _all_keys_distinct([key for key, _row in keyed])
+        return rows, keys_unique
+
+    def _agg_value(self, expr: ast.Expr, group: list[dict],
+                   bindings: dict[str, str]) -> Any:
+        if isinstance(expr, ast.FuncCall) and expr.is_aggregate:
+            return self._aggregate_func(expr, group, bindings)
+        if isinstance(expr, ast.Arithmetic):
+            left = self._agg_value(expr.left, group, bindings)
+            right = self._agg_value(expr.right, group, bindings)
+            if left is None or right is None:
+                return None
+            return self._arith(expr.op, left, right)
+        scope = group[0] if group else {}
+        return self._value(expr, scope, bindings)
+
+    def _aggregate_func(self, func: ast.FuncCall, group: list[dict],
+                        bindings: dict[str, str]) -> Any:
+        if func.star:
+            return len(group)
+        values = []
+        seen: set = set()
+        for scope in group:
+            value = self._value(func.args[0], scope, bindings)
+            if value is None:
+                continue
+            if func.distinct:
+                if value in seen:
+                    continue
+                seen.add(value)
+            values.append(value)
+        name = func.name
+        if name == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if name == "SUM":
+            total = values[0]
+            for value in values[1:]:
+                total = total + value
+            return total
+        if name == "AVG":
+            total = values[0]
+            for value in values[1:]:
+                total = total + value
+            return total / len(values)
+        if name == "MIN":
+            return min(values)
+        if name == "MAX":
+            return max(values)
+        raise ReferenceError(f"unknown aggregate {name}")
+
+    def _having(self, having: ast.Expr, group: list[dict],
+                bindings: dict[str, str]) -> bool:
+        if isinstance(having, ast.And):
+            return all(self._having(i, group, bindings) for i in having.items)
+        if isinstance(having, ast.Or):
+            return any(self._having(i, group, bindings) for i in having.items)
+        if isinstance(having, ast.Not):
+            return not self._having(having.item, group, bindings)
+        if isinstance(having, ast.Comparison):
+            left = self._agg_value(having.left, group, bindings)
+            right = self._agg_value(having.right, group, bindings)
+            if left is None or right is None:
+                return False
+            return self._compare_values(having.op, left, right)
+        scope = group[0] if group else {}
+        return self._truth(having, scope, bindings)
+
+    # -- DML -------------------------------------------------------------------
+
+    def _insert(self, stmt: ast.Insert) -> RefResult:
+        table = self.tables[stmt.table.name]
+        rows = self.store[stmt.table.name]
+        for value_row in stmt.rows:
+            given = {
+                col: self._value(expr, {}, {})
+                for col, expr in zip(stmt.columns, value_row)
+            }
+            rows.append({c: given.get(c) for c in table.column_names})
+        return RefResult(rowcount=len(stmt.rows))
+
+    def _update(self, stmt: ast.Update) -> RefResult:
+        binding = stmt.table.binding
+        bindings = {binding: stmt.table.name}
+        rows = self.store[stmt.table.name]
+        matched = [
+            row for row in rows
+            if self._truth(stmt.where, {binding: row}, bindings)
+        ]
+        for row in matched:
+            changes = {
+                col: self._value(expr, {binding: row}, bindings)
+                for col, expr in stmt.assignments
+            }
+            row.update(changes)
+        return RefResult(rowcount=len(matched))
+
+    def _delete(self, stmt: ast.Delete) -> RefResult:
+        binding = stmt.table.binding
+        bindings = {binding: stmt.table.name}
+        rows = self.store[stmt.table.name]
+        keep = []
+        removed = 0
+        for row in rows:
+            if self._truth(stmt.where, {binding: row}, bindings):
+                removed += 1
+            else:
+                keep.append(row)
+        self.store[stmt.table.name] = keep
+        return RefResult(rowcount=removed)
+
+    # -- expression evaluation -------------------------------------------------
+
+    def _resolve(self, ref: ast.ColumnRef, bindings: dict[str, str]) -> str:
+        if ref.table is not None:
+            return ref.table
+        matches = [
+            binding for binding, table in bindings.items()
+            if self.tables[table].has_column(ref.column)
+        ]
+        if len(matches) != 1:
+            raise ReferenceError(f"cannot resolve column {ref.column!r}")
+        return matches[0]
+
+    def _value(self, expr: ast.Expr, scope: dict,
+               bindings: dict[str, str]) -> Any:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.ColumnRef):
+            binding = self._resolve(expr, bindings)
+            row = scope.get(binding)
+            return None if row is None else row.get(expr.column)
+        if isinstance(expr, ast.Arithmetic):
+            left = self._value(expr.left, scope, bindings)
+            right = self._value(expr.right, scope, bindings)
+            if left is None or right is None:
+                return None
+            return self._arith(expr.op, left, right)
+        if isinstance(expr, ast.FuncCall):
+            raise ReferenceError(
+                f"aggregate {expr.name} outside aggregation context"
+            )
+        if isinstance(expr, ast.Param):
+            raise ReferenceError("cannot execute a parameterized query")
+        return self._truth(expr, scope, bindings)
+
+    @staticmethod
+    def _arith(op: str, left: Any, right: Any) -> Any:
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                return left / right if right else None
+            if op == "%":
+                return left % right if right else None
+        except TypeError:
+            return None
+        raise ReferenceError(f"unknown arithmetic op {op!r}")
+
+    def _truth(self, expr: Optional[ast.Expr], scope: dict,
+               bindings: dict[str, str]) -> bool:
+        if expr is None:
+            return True
+        if isinstance(expr, ast.And):
+            return all(self._truth(i, scope, bindings) for i in expr.items)
+        if isinstance(expr, ast.Or):
+            return any(self._truth(i, scope, bindings) for i in expr.items)
+        if isinstance(expr, ast.Not):
+            return not self._truth(expr.item, scope, bindings)
+        if isinstance(expr, ast.Comparison):
+            left = self._value(expr.left, scope, bindings)
+            right = self._value(expr.right, scope, bindings)
+            if expr.op == "<=>":
+                return _sql_eq(left, right) or (left is None and right is None)
+            if left is None or right is None:
+                return False
+            if expr.op == "LIKE":
+                return _like(str(left), str(right))
+            return self._compare_values(expr.op, left, right)
+        if isinstance(expr, ast.InList):
+            value = self._value(expr.expr, scope, bindings)
+            if value is None:
+                return False
+            items = [self._value(i, scope, bindings) for i in expr.items]
+            result = any(_sql_eq(value, item) for item in items)
+            return (not result) if expr.negated else result
+        if isinstance(expr, ast.Between):
+            value = self._value(expr.expr, scope, bindings)
+            low = self._value(expr.low, scope, bindings)
+            high = self._value(expr.high, scope, bindings)
+            if value is None or low is None or high is None:
+                return False
+            try:
+                result = low <= value <= high
+            except TypeError:
+                return False
+            return (not result) if expr.negated else result
+        if isinstance(expr, ast.IsNull):
+            value = self._value(expr.expr, scope, bindings)
+            return (value is not None) if expr.negated else (value is None)
+        if isinstance(expr, ast.Literal):
+            return bool(expr.value)
+        raise ReferenceError(f"cannot evaluate predicate {expr.to_sql()}")
+
+    @staticmethod
+    def _compare_values(op: str, left: Any, right: Any) -> bool:
+        try:
+            if op == "=":
+                return _sql_eq(left, right)
+            if op == "!=":
+                return not _sql_eq(left, right)
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+        except TypeError:
+            return False
+        raise ReferenceError(f"unknown comparison operator {op!r}")
+
+
+def _all_keys_distinct(keys: list[tuple]) -> bool:
+    """True when no two (already sorted) adjacent sort keys compare equal."""
+    return all(keys[i] != keys[i + 1] for i in range(len(keys) - 1))
+
+
+def _has_aggregates(stmt: ast.Select) -> bool:
+    return any(
+        isinstance(node, ast.FuncCall) and node.is_aggregate
+        for item in stmt.items
+        if not isinstance(item.expr, ast.Star)
+        for node in ast.iter_exprs(item.expr)
+    )

@@ -1,0 +1,295 @@
+"""Greedy minimization of failing fuzz cases.
+
+``shrink_case`` takes a failing :class:`Case` and a predicate that
+re-runs the violated oracles, and repeatedly tries smaller candidates --
+fewer statements, fewer tables, fewer rows, fewer columns, simpler
+predicates -- keeping each reduction only when the failure persists.
+The result is typically a one-table/one-query repro small enough to
+read at a glance; the runner serializes it into ``qa_failures/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from ..catalog import Table
+from ..sqlparser import ast, parse
+from .generator import Case
+
+StillFailing = Callable[[Case], bool]
+
+
+class _Budget:
+    """Caps the number of oracle re-evaluations a shrink may spend."""
+
+    def __init__(self, attempts: int):
+        self.remaining = attempts
+
+    def spend(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def shrink_case(
+    case: Case, still_failing: StillFailing, max_attempts: int = 300
+) -> Case:
+    """Minimize *case* while ``still_failing`` stays true."""
+    budget = _Budget(max_attempts)
+
+    def check(candidate: Case) -> bool:
+        if not budget.spend():
+            return False
+        try:
+            return still_failing(candidate)
+        except Exception:
+            # A candidate that crashes the oracle harness itself is not a
+            # faithful reduction of the original failure.
+            return False
+
+    changed = True
+    while changed and budget.remaining > 0:
+        changed = False
+        for reducer in (
+            _reduce_statements,
+            _drop_unreferenced_tables,
+            _reduce_rows,
+            _drop_unused_columns,
+            _simplify_statements,
+        ):
+            smaller = reducer(case, check)
+            if smaller is not None:
+                case = smaller
+                changed = True
+    return case
+
+
+# -- statement reduction ------------------------------------------------------
+
+
+def _reduce_statements(case: Case, check: StillFailing) -> Optional[Case]:
+    statements = case.statements
+    if len(statements) <= 1:
+        return None
+    best: Optional[Case] = None
+    # Try each single statement first: most failures are one bad query.
+    for i in range(len(statements)):
+        candidate = replace(case, statements=[statements[i]])
+        if check(candidate):
+            return candidate
+    # Otherwise drop one statement at a time.
+    i = 0
+    current = case
+    while i < len(current.statements) and len(current.statements) > 1:
+        remaining = (
+            current.statements[:i] + current.statements[i + 1:]
+        )
+        candidate = replace(current, statements=remaining)
+        if check(candidate):
+            current = candidate
+            best = candidate
+        else:
+            i += 1
+    return best
+
+
+# -- schema reduction ---------------------------------------------------------
+
+
+def _referenced_tables(case: Case) -> set[str]:
+    tables: set[str] = set()
+    for sql in case.statements:
+        stmt = parse(sql)
+        if isinstance(stmt, ast.Select):
+            for ref in stmt.tables:
+                tables.add(ref.name)
+            for join in stmt.joins:
+                tables.add(join.table.name)
+        else:
+            tables.add(stmt.table.name)
+    return tables
+
+
+def _drop_unreferenced_tables(case: Case, check: StillFailing) -> Optional[Case]:
+    referenced = _referenced_tables(case)
+    keep = [t for t in case.tables if t.name in referenced]
+    if len(keep) == len(case.tables) or not keep:
+        return None
+    candidate = replace(
+        case,
+        tables=keep,
+        rows={t.name: case.rows[t.name] for t in keep},
+    )
+    return candidate if check(candidate) else None
+
+
+def _reduce_rows(case: Case, check: StillFailing) -> Optional[Case]:
+    best: Optional[Case] = None
+    current = case
+    for table in case.tables:
+        rows = current.rows[table.name]
+        while len(rows) > 0:
+            half = len(rows) // 2
+            shrunk = None
+            for candidate_rows in (rows[:half], rows[half:]):
+                if len(candidate_rows) == len(rows):
+                    continue
+                candidate = replace(
+                    current,
+                    rows={**current.rows, table.name: candidate_rows},
+                )
+                if check(candidate):
+                    shrunk = candidate
+                    rows = candidate_rows
+                    break
+            if shrunk is None:
+                break
+            current = shrunk
+            best = shrunk
+    return best
+
+
+def _drop_unused_columns(case: Case, check: StillFailing) -> Optional[Case]:
+    used = _referenced_columns(case)
+    if used is None:
+        return None
+    best: Optional[Case] = None
+    current = case
+    for table in list(current.tables):
+        removable = [
+            c.name for c in table.columns
+            if c.name not in table.primary_key and c.name not in used
+        ]
+        for column in removable:
+            candidate = _without_column(current, table.name, column)
+            if check(candidate):
+                current = candidate
+                best = candidate
+                table = next(
+                    t for t in current.tables if t.name == table.name
+                )
+    return best
+
+
+def _referenced_columns(case: Case) -> Optional[set[str]]:
+    """Column names referenced anywhere, or None when a ``*`` blocks this."""
+    used: set[str] = set()
+    for sql in case.statements:
+        stmt = parse(sql)
+        for expr in _statement_exprs(stmt):
+            for node in ast.iter_exprs(expr):
+                if isinstance(node, ast.Star):
+                    return None
+                if isinstance(node, ast.ColumnRef):
+                    used.add(node.column)
+        if isinstance(stmt, ast.Insert):
+            used.update(stmt.columns)
+        elif isinstance(stmt, ast.Update):
+            used.update(col for col, _expr in stmt.assignments)
+    return used
+
+
+def _statement_exprs(stmt: ast.Statement) -> list[ast.Expr]:
+    exprs: list[ast.Expr] = []
+    if isinstance(stmt, ast.Select):
+        exprs.extend(item.expr for item in stmt.items)
+        if stmt.where is not None:
+            exprs.append(stmt.where)
+        exprs.extend(stmt.group_by)
+        if stmt.having is not None:
+            exprs.append(stmt.having)
+        exprs.extend(o.expr for o in stmt.order_by)
+        for join in stmt.joins:
+            if join.condition is not None:
+                exprs.append(join.condition)
+    elif isinstance(stmt, ast.Insert):
+        for row in stmt.rows:
+            exprs.extend(row)
+    elif isinstance(stmt, ast.Update):
+        exprs.extend(expr for _col, expr in stmt.assignments)
+        if stmt.where is not None:
+            exprs.append(stmt.where)
+    elif isinstance(stmt, ast.Delete):
+        if stmt.where is not None:
+            exprs.append(stmt.where)
+    return exprs
+
+
+def _without_column(case: Case, table_name: str, column: str) -> Case:
+    tables = []
+    for table in case.tables:
+        if table.name != table_name:
+            tables.append(table)
+            continue
+        tables.append(Table(
+            table.name,
+            [c for c in table.columns if c.name != column],
+            table.primary_key,
+        ))
+    rows = dict(case.rows)
+    rows[table_name] = [
+        {k: v for k, v in row.items() if k != column}
+        for row in case.rows[table_name]
+    ]
+    return replace(case, tables=tables, rows=rows)
+
+
+# -- statement simplification -------------------------------------------------
+
+
+def _simplify_statements(case: Case, check: StillFailing) -> Optional[Case]:
+    best: Optional[Case] = None
+    current = case
+    for i in range(len(current.statements)):
+        progressed = True
+        while progressed:
+            progressed = False
+            stmt = parse(current.statements[i])
+            for variant in _variants(stmt):
+                statements = list(current.statements)
+                statements[i] = variant.to_sql()
+                candidate = replace(current, statements=statements)
+                if check(candidate):
+                    current = candidate
+                    best = candidate
+                    progressed = True
+                    break
+    return best
+
+
+def _variants(stmt: ast.Statement) -> list[ast.Statement]:
+    """One-change simplifications of a statement, simplest first."""
+    out: list[ast.Statement] = []
+    if isinstance(stmt, ast.Select):
+        if stmt.where is not None:
+            for simpler in _where_variants(stmt.where):
+                out.append(replace(stmt, where=simpler))
+        if stmt.order_by:
+            out.append(replace(stmt, order_by=(), limit=None, offset=None))
+        if stmt.limit is not None or stmt.offset is not None:
+            out.append(replace(stmt, limit=None, offset=None))
+        if stmt.having is not None:
+            out.append(replace(stmt, having=None))
+        if stmt.distinct:
+            out.append(replace(stmt, distinct=False))
+        if len(stmt.items) > 1:
+            for i in range(len(stmt.items)):
+                items = stmt.items[:i] + stmt.items[i + 1:]
+                out.append(replace(stmt, items=items))
+    elif isinstance(stmt, (ast.Update, ast.Delete)):
+        if stmt.where is not None:
+            for simpler in _where_variants(stmt.where):
+                out.append(replace(stmt, where=simpler))
+    return out
+
+
+def _where_variants(where: ast.Expr) -> list[Optional[ast.Expr]]:
+    out: list[Optional[ast.Expr]] = []
+    if isinstance(where, ast.And) and len(where.items) > 1:
+        for i in range(len(where.items)):
+            items = where.items[:i] + where.items[i + 1:]
+            out.append(items[0] if len(items) == 1 else ast.And(items))
+    out.append(None)
+    return out

@@ -78,6 +78,29 @@ def test_cost_evaluator_caches_plans(db):
     assert ev.cache_hits >= 1
 
 
+def test_cache_hits_metric_tracks_instance_counter(db):
+    # The whatif.cache_hits registry counter must move in lockstep with
+    # CostEvaluator.cache_hits even after the process registry is
+    # swapped (import-time metric handles would keep pointing at the
+    # old registry).
+    from repro.obs import MetricsRegistry, get_registry, set_registry
+
+    previous = get_registry()
+    fresh = MetricsRegistry()
+    set_registry(fresh)
+    try:
+        ev = CostEvaluator(db)
+        sql = "SELECT name FROM users WHERE city = 'c1'"
+        ev.cost(sql)
+        ev.cost(sql)
+        ev.cost(sql)
+        assert ev.cache_hits == 2
+        metric = fresh.counter("whatif.cache_hits").labels()
+        assert metric.value == ev.cache_hits
+    finally:
+        set_registry(previous)
+
+
 def test_cache_key_projects_config_onto_query_tables(db):
     ev = CostEvaluator(db)
     sql = "SELECT name FROM users WHERE city = 'c1'"

@@ -238,3 +238,87 @@ def test_exact_knapsack_at_least_matches_greedy(items, budget):
     greedy_value = sum(c.utility for c in greedy)
     exact_value = sum(c.utility for c in exact)
     assert exact_value >= greedy_value - 1e-6
+
+
+# ---------------------------------------------------------------------------
+# selectivity estimation (driven by the seeded repro.qa generator)
+# ---------------------------------------------------------------------------
+
+from repro.optimizer.selectivity import MIN_SELECTIVITY, expr_selectivity
+from repro.qa import GenConfig, ReferenceDatabase, generate_case
+from repro.sqlparser import ast as _ast
+
+_EPS = 1e-9
+
+
+def _where_clauses(case):
+    """(where-expr, stats-lookup) pairs for every generated SELECT."""
+    from repro.sqlparser import parse
+
+    db = case.database()
+    reference = ReferenceDatabase(case.tables, case.rows)
+    pairs = []
+    for sql in case.statements:
+        stmt = parse(sql)
+        if not isinstance(stmt, _ast.Select) or stmt.where is None:
+            continue
+        bindings = {ref.binding: ref.name for ref in stmt.tables}
+        for join in stmt.joins:
+            bindings[join.table.binding] = join.table.name
+
+        def lookup(ref, _bindings=bindings):
+            binding = reference._resolve(ref, _bindings)
+            return db.stats.table(_bindings[binding]).column(ref.column)
+
+        pairs.append((stmt.where, lookup))
+    return pairs
+
+
+@pytest.mark.parametrize("seed", range(300, 310))
+def test_selectivity_bounded_on_generated_predicates(seed):
+    for where, lookup in _where_clauses(generate_case(seed)):
+        sel = expr_selectivity(where, lookup)
+        assert 0.0 <= sel <= 1.0, f"{where}: {sel}"
+
+
+@pytest.mark.parametrize("seed", range(300, 310))
+def test_and_selectivity_never_exceeds_cheapest_conjunct(seed):
+    for where, lookup in _where_clauses(generate_case(seed)):
+        if not isinstance(where, _ast.And):
+            continue
+        sel = expr_selectivity(where, lookup)
+        parts = [expr_selectivity(item, lookup) for item in where.items]
+        assert sel <= max(min(parts), MIN_SELECTIVITY) + _EPS
+
+
+@pytest.mark.parametrize("seed", range(300, 310))
+def test_or_selectivity_within_union_bounds(seed):
+    for where, lookup in _where_clauses(generate_case(seed)):
+        if not isinstance(where, _ast.Or):
+            continue
+        sel = expr_selectivity(where, lookup)
+        parts = [expr_selectivity(item, lookup) for item in where.items]
+        low = max(parts) - _EPS
+        high = max(min(1.0, sum(parts)), MIN_SELECTIVITY) + _EPS
+        assert low <= sel <= high
+
+
+def test_histogram_and_ndv_fallback_agree_on_uniform_data():
+    # On perfectly uniform data the histogram's measured fraction for
+    # `col = v` must agree with the uniform-assumption fallback
+    # non_null/ndv the optimizer uses when no histogram exists.
+    ndv, repeat = 16, 8                        # 128 rows <= exact sample
+    values = [v for v in range(ndv) for _ in range(repeat)]
+    stats = analyze_column(values)
+    assert stats.ndv == ndv
+    fallback = ColumnStats(ndv=ndv)            # no histogram
+    for v in range(ndv):
+        with_hist = stats.eq_selectivity(v)
+        without = fallback.eq_selectivity(v)
+        assert with_hist == pytest.approx(without, rel=1e-6), (
+            f"value {v}: histogram {with_hist} vs fallback {without}"
+        )
+    # And a range over half the domain measures ~half the rows.
+    assert stats.between_selectivity(0, ndv // 2 - 1) == pytest.approx(
+        0.5, abs=0.05
+    )
