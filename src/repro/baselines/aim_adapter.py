@@ -25,8 +25,17 @@ class AimAlgorithm(SelectionAlgorithm):
 
     def _select(self, evaluator: CostEvaluator, workload: Workload, budget_bytes: int):
         advisor = AimAdvisor(self.db, self.config)
-        recommendation = advisor.recommend(workload, budget_bytes)
-        # Surface AIM's optimizer usage through the shared evaluator's
-        # counter so runtime/call comparisons stay uniform.
-        evaluator.optimizer.calls += recommendation.optimizer_calls
+        if self.config.relative_to_current:
+            # The shared evaluator sees a bare schema; continuous-tuning
+            # mode needs its own.  Merge the optimizer usage back so
+            # runtime/call comparisons stay uniform.
+            recommendation = advisor.recommend(workload, budget_bytes)
+            evaluator.optimizer.calls += recommendation.optimizer_calls
+        else:
+            # Drive AIM through the shared evaluator: call accounting is
+            # uniform, and a caller-held evaluator keeps its caches warm
+            # across repeated runs.
+            recommendation = advisor.recommend(
+                workload, budget_bytes, evaluator=evaluator
+            )
         return [idx.as_dataless() for idx in recommendation.indexes]

@@ -31,7 +31,7 @@ class AutoAdminAlgorithm(SelectionAlgorithm):
         per_query = per_query_candidates(
             evaluator, workload, self.max_width, with_permutations=False
         )
-        pool: dict[str, Index] = {}
+        pool: dict[tuple, Index] = {}
         for query in workload:
             if query.is_dml:
                 continue
@@ -43,7 +43,7 @@ class AutoAdminAlgorithm(SelectionAlgorithm):
                     scored.append((gain, candidate))
             scored.sort(key=lambda t: -t[0])
             for _gain, candidate in scored[: self.per_query_keep]:
-                pool[candidate.name] = candidate
+                pool[candidate.key] = candidate
 
         chosen: list[Index] = []
         used_bytes = 0
@@ -51,7 +51,7 @@ class AutoAdminAlgorithm(SelectionAlgorithm):
         while True:
             best: Optional[tuple[float, Index, float]] = None
             for candidate in pool.values():
-                if any(c.name == candidate.name for c in chosen):
+                if any(c.key == candidate.key for c in chosen):
                     continue
                 size = self.db.index_size_bytes(candidate)
                 if used_bytes + size > budget_bytes:

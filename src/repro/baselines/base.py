@@ -44,17 +44,40 @@ class SelectionAlgorithm(ABC):
 
     name = "base"
 
-    def __init__(self, db: Database):
-        self.db = db
+    #: Process fan-out for workload costing (1 = serial).  Settable as an
+    #: attribute after construction so subclass ``__init__`` signatures
+    #: stay untouched (``repro advise --jobs N`` sets it).
+    jobs = 1
 
-    def select(self, workload: Workload, budget_bytes: int) -> AlgorithmResult:
+    def __init__(self, db: Database, jobs: int = 1):
+        self.db = db
+        if jobs != 1:
+            self.jobs = jobs
+
+    def select(
+        self,
+        workload: Workload,
+        budget_bytes: int,
+        evaluator: Optional[CostEvaluator] = None,
+    ) -> AlgorithmResult:
         """Run the algorithm; returns the selected configuration and
-        bookkeeping (wall-clock runtime, optimizer calls, costs)."""
-        evaluator = CostEvaluator(self.db, include_schema_indexes=False)
+        bookkeeping (wall-clock runtime, optimizer calls, costs).
+
+        Pass *evaluator* to reuse one across runs (its plan caches then
+        survive between invocations -- the repeated-tuning case); it is
+        left open for the caller.  ``optimizer_calls`` always counts this
+        run only.
+        """
+        owned = evaluator is None
+        if evaluator is None:
+            evaluator = CostEvaluator(
+                self.db, include_schema_indexes=False, jobs=self.jobs
+            )
+        calls_start = evaluator.optimizer_calls
         with trace("baseline.select", algorithm=self.name) as span:
             indexes = self._select(evaluator, workload, budget_bytes)
             span.set(
-                optimizer_calls=evaluator.optimizer_calls,
+                optimizer_calls=evaluator.optimizer_calls - calls_start,
                 indexes=len(indexes),
             )
         runtime = span.duration
@@ -65,6 +88,7 @@ class SelectionAlgorithm(ABC):
             cost_span.set(
                 optimizer_calls=evaluator.optimizer_calls - selection_calls
             )
+        run_calls = evaluator.optimizer_calls - calls_start
         registry = get_registry()
         registry.histogram(
             "baseline.select.seconds", "selection wall seconds per algorithm"
@@ -72,12 +96,14 @@ class SelectionAlgorithm(ABC):
         registry.histogram(
             "baseline.optimizer_calls",
             "optimizer invocations per run (selection + cost accounting)",
-        ).observe(evaluator.optimizer_calls, algorithm=self.name)
+        ).observe(run_calls, algorithm=self.name)
+        if owned:
+            evaluator.close()
         return AlgorithmResult(
             algorithm=self.name,
             indexes=list(indexes),
             runtime_seconds=runtime,
-            optimizer_calls=evaluator.optimizer_calls,
+            optimizer_calls=run_calls,
             cost_before=cost_before,
             cost_after=cost_after,
             total_size_bytes=sum(self.db.index_size_bytes(i) for i in indexes),

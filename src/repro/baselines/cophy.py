@@ -43,15 +43,17 @@ class CophyAlgorithm(SelectionAlgorithm):
         per_query = per_query_candidates(
             evaluator, workload, self.max_width, with_permutations=False
         )
-        pool: dict[str, Index] = {}
-        benefits: dict[tuple[int, str], float] = {}
+        # Keyed by the structural index key (names can collide when
+        # table/column names contain underscores).
+        pool: dict[tuple, Index] = {}
+        benefits: dict[tuple[int, tuple], float] = {}
         for qi, query in enumerate(queries):
             base = evaluator.cost(query.sql, [])
             for candidate in per_query.get(query.normalized_sql, []):
                 gain = base - evaluator.cost(query.sql, [candidate])
                 if gain > 0:
-                    pool[candidate.name] = candidate
-                    benefits[(qi, candidate.name)] = gain * query.weight
+                    pool[candidate.key] = candidate
+                    benefits[(qi, candidate.key)] = gain * query.weight
         if not pool:
             return []
         index_names = sorted(pool)

@@ -86,18 +86,21 @@ def per_query_candidates(
         if query.is_dml:
             continue
         info = evaluator.analyze(query.sql)
-        candidates: dict[str, Index] = {}
+        # Dedupe on the structural key, not the formatted name: names
+        # collide when table/column names contain underscores
+        # (idx_a_b_c is both a_b(c) and a(b_c)).
+        candidates: dict[tuple, Index] = {}
         for table, columns in indexable_columns(info).items():
             for width in range(1, min(max_width, len(columns)) + 1):
                 prefix = tuple(columns[:width])
                 idx = Index(table, prefix, dataless=True)
-                candidates[idx.name] = idx
+                candidates[idx.key] = idx
                 if with_permutations and width > 1:
                     for perm in itertools.islice(
                         itertools.permutations(columns[:width]), MAX_PERMUTATIONS
                     ):
                         pidx = Index(table, tuple(perm), dataless=True)
-                        candidates[pidx.name] = pidx
+                        candidates[pidx.key] = pidx
         out[query.normalized_sql] = list(candidates.values())
     return out
 
@@ -109,13 +112,13 @@ def candidate_pool(
     with_permutations: bool = True,
 ) -> list[Index]:
     """Deduplicated union of all per-query candidates."""
-    pool: dict[str, Index] = {}
+    pool: dict[tuple, Index] = {}
     per_query = per_query_candidates(
         evaluator, workload, max_width, with_permutations
     )
     for candidates in per_query.values():
         for idx in candidates:
-            pool[idx.name] = idx
+            pool[idx.key] = idx
     return list(pool.values())
 
 

@@ -33,8 +33,10 @@ class Db2AdvisAlgorithm(SelectionAlgorithm):
         per_query = per_query_candidates(
             evaluator, workload, self.max_width, with_permutations=False
         )
-        benefit: dict[str, float] = {}
-        pool: dict[str, Index] = {}
+        # Structural index keys: formatted names can collide when
+        # table/column names contain underscores.
+        benefit: dict[tuple, float] = {}
+        pool: dict[tuple, Index] = {}
         for query in workload:
             if query.is_dml:
                 continue
@@ -47,14 +49,14 @@ class Db2AdvisAlgorithm(SelectionAlgorithm):
             used = plan.used_indexes
             used_candidates = [c for c in candidates if c.name in used]
             for candidate in used_candidates:
-                pool[candidate.name] = candidate
-                benefit[candidate.name] = (
-                    benefit.get(candidate.name, 0.0) + gain / len(used_candidates)
+                pool[candidate.key] = candidate
+                benefit[candidate.key] = (
+                    benefit.get(candidate.key, 0.0) + gain / len(used_candidates)
                 )
 
         ordered = sorted(
             pool.values(),
-            key=lambda c: benefit[c.name] / max(1, self.db.index_size_bytes(c)),
+            key=lambda c: benefit[c.key] / max(1, self.db.index_size_bytes(c)),
             reverse=True,
         )
         chosen: list[Index] = []
@@ -74,12 +76,12 @@ class Db2AdvisAlgorithm(SelectionAlgorithm):
                 break
             incoming = rng.choice(outside)
             outgoing = rng.choice(chosen)
-            trial = [c for c in chosen if c.name != outgoing.name] + [incoming]
+            trial = [c for c in chosen if c.key != outgoing.key] + [incoming]
             if config_size(self.db, trial) > budget_bytes:
                 continue
             cost = evaluator.workload_cost(pairs, trial)
             if cost < best_cost:
                 best_cost = cost
-                outside = [c for c in outside if c.name != incoming.name] + [outgoing]
+                outside = [c for c in outside if c.key != incoming.key] + [outgoing]
                 chosen = trial
         return chosen

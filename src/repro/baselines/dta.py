@@ -48,7 +48,7 @@ class DtaAlgorithm(SelectionAlgorithm):
         per_query = per_query_candidates(
             evaluator, workload, self.max_width, with_permutations=True
         )
-        pool: dict[str, Index] = {}
+        pool: dict[tuple, Index] = {}
         for query in workload:
             if query.is_dml:
                 continue
@@ -63,13 +63,13 @@ class DtaAlgorithm(SelectionAlgorithm):
                     scored.append((gain, candidate))
             scored.sort(key=lambda t: -t[0])
             for _gain, candidate in scored[: self.per_query_keep]:
-                pool[candidate.name] = candidate
+                pool[candidate.key] = candidate
             # Merged candidate: the query's best pair combined per table.
             best_per_table: dict[str, Index] = {}
             for _gain, candidate in scored:
                 best_per_table.setdefault(candidate.table, candidate)
             for candidate in best_per_table.values():
-                pool[candidate.name] = candidate
+                pool[candidate.key] = candidate
 
         # Phase 2: anytime greedy enumeration over the pool.
         chosen: list[Index] = []
@@ -79,7 +79,7 @@ class DtaAlgorithm(SelectionAlgorithm):
         while time.perf_counter() <= deadline:
             best: Optional[tuple[float, Index, float]] = None
             for candidate in candidates:
-                if any(c.name == candidate.name for c in chosen):
+                if any(c.key == candidate.key for c in chosen):
                     continue
                 size = self.db.index_size_bytes(candidate)
                 if used_bytes + size > budget_bytes:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from .table import Table
 
@@ -32,10 +33,26 @@ class Index:
         if len(set(self.columns)) != len(self.columns):
             raise ValueError(f"duplicate columns in index: {self.columns}")
 
-    @property
+    @cached_property
     def name(self) -> str:
-        """Deterministic name derived from table and key columns."""
+        """Deterministic name derived from table and key columns.
+
+        Computed once per instance: the name appears in every cache key,
+        dedup map and plan-attribution lookup of the advisor hot path, so
+        rebuilding the string per access measurably costs.
+        """
         return f"idx_{self.table}_" + "_".join(self.columns)
+
+    @cached_property
+    def key(self) -> tuple:
+        """Structural identity: ``(table, columns, unique)``.
+
+        Unlike :attr:`name`, the structural key cannot collide when
+        underscores appear in table or column names (``a_b`` + ``(c,)``
+        and ``a`` + ``(b_c,)`` share a name but not a key), so caches and
+        dedup maps should key on it.
+        """
+        return (self.table, self.columns, self.unique)
 
     @property
     def width(self) -> int:

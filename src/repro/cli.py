@@ -246,6 +246,9 @@ def make_parser() -> argparse.ArgumentParser:
                         help="optional cap on index width")
     parser.add_argument("--algorithm", choices=sorted(ALL_ALGORITHMS),
                         default="aim", help="advisor to run")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for workload costing "
+                             "(default 1 = serial; results are identical)")
     parser.add_argument("--format", choices=("text", "json"), default="text")
     return parser
 
@@ -309,7 +312,7 @@ def make_fuzz_parser() -> argparse.ArgumentParser:
 _VALUE_FLAGS = {
     "--trace", "--schema", "--workload", "--budget", "--rows",
     "--default-rows", "--engine", "--join-parameter", "--max-width",
-    "--algorithm", "--format", "--sql", "--seed",
+    "--algorithm", "--jobs", "--format", "--sql", "--seed",
     "--iters", "--oracles", "--out", "--max-failures", "--replay",
 }
 
@@ -554,6 +557,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         config = AimConfig(
             join_parameter=args.join_parameter,
             max_index_width=args.max_width,
+            jobs=args.jobs,
         )
         recommendation = AimAdvisor(db, config).recommend(workload, args.budget)
         if args.format == "json":
@@ -586,6 +590,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _write_trace(args.trace)
 
     algorithm = ALL_ALGORITHMS[args.algorithm](db)
+    algorithm.jobs = args.jobs
     result = algorithm.select(workload, args.budget)
     if args.format == "json":
         payload = {

@@ -101,6 +101,8 @@ class AimConfig:
             unindexed baseline (bootstrapping).
         ipp_relaxation_rows: Sec. V-A IPP relaxation threshold (estimated
             matched rows); None keeps all IPP columns.
+        jobs: process fan-out for workload costing (1 = serial).  Results
+            are bit-identical to serial; see docs/PERFORMANCE.md.
     """
 
     join_parameter: int = 2
@@ -115,6 +117,7 @@ class AimConfig:
     lambda3: float = 0.10
     validate: bool = True
     relative_to_current: bool = False
+    jobs: int = 1
 
 
 class AimAdvisor:
@@ -145,11 +148,28 @@ class AimAdvisor:
             span.set(selected_queries=len(workload))
         return self.recommend(workload, budget_bytes)
 
-    def recommend(self, workload: Workload, budget_bytes: int) -> Recommendation:
-        """Run Algorithm 1 on *workload* under *budget_bytes*."""
-        evaluator = CostEvaluator(
-            self.db, include_schema_indexes=self.config.relative_to_current
-        )
+    def recommend(
+        self,
+        workload: Workload,
+        budget_bytes: int,
+        evaluator: Optional[CostEvaluator] = None,
+    ) -> Recommendation:
+        """Run Algorithm 1 on *workload* under *budget_bytes*.
+
+        Pass *evaluator* to reuse one across advisor runs: its plan
+        caches then persist between tuning cycles, which is what makes
+        repeated recommendations over a stable workload nearly free of
+        optimizer calls.  A caller-supplied evaluator is left open;
+        ``optimizer_calls`` on the result always counts this run only.
+        """
+        owned = evaluator is None
+        if evaluator is None:
+            evaluator = CostEvaluator(
+                self.db,
+                include_schema_indexes=self.config.relative_to_current,
+                jobs=self.config.jobs,
+            )
+        calls_start = evaluator.optimizer_calls
         generator = self._generator(evaluator)
         registry = get_registry()
         registry.counter("advisor.runs", "advisor invocations").inc()
@@ -234,7 +254,7 @@ class AimAdvisor:
                     cost_after = cost_before
                 span.set(chosen=len(chosen_indexes))
 
-            root.set(optimizer_calls=evaluator.optimizer_calls)
+            root.set(optimizer_calls=evaluator.optimizer_calls - calls_start)
 
         registry.counter(
             "advisor.indexes.recommended", "indexes across all advisor runs"
@@ -250,13 +270,15 @@ class AimAdvisor:
             )
             for c in sorted(selected, key=lambda c: c.utility, reverse=True)
         ]
+        if owned:
+            evaluator.close()
         return Recommendation(
             created=created,
             budget_bytes=budget_bytes,
             cost_before=cost_before,
             cost_after=cost_after,
             runtime_seconds=root.duration,
-            optimizer_calls=evaluator.optimizer_calls,
+            optimizer_calls=evaluator.optimizer_calls - calls_start,
             rejected_for_regression=rejected,
         )
 

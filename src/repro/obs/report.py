@@ -132,6 +132,9 @@ def _render_telemetry(telemetry: dict) -> str:
         sections.append("\n".join(lines))
 
     counters = metrics.get("counters") or {}
+    whatif = _render_whatif(counters)
+    if whatif:
+        sections.append(whatif)
     if counters:
         lines = ["counters:"]
         for name, by_label in sorted(counters.items()):
@@ -171,6 +174,32 @@ def _render_telemetry(telemetry: dict) -> str:
         sections.append("\n".join(lines))
 
     return "\n\n".join(sections)
+
+
+def _counter_total(counters: dict, name: str) -> float:
+    return sum((counters.get(name) or {}).values())
+
+
+def _render_whatif(counters: dict) -> str:
+    """The what-if cache headline: how rarely the optimizer was consulted."""
+    evals = _counter_total(counters, "whatif.evaluations")
+    if not evals:
+        return ""
+    hits = _counter_total(counters, "whatif.cache_hits")
+    canonical = _counter_total(counters, "whatif.canonical_hits")
+    evictions = _counter_total(counters, "whatif.cache_evictions")
+    analyze_hits = _counter_total(counters, "analyze.cache_hits")
+    lines = [
+        "what-if cache:",
+        f"  plan requests      = {evals:g}",
+        f"  cache hits         = {hits:g}  ({hits / evals:.1%},"
+        f" {canonical:g} via canonical subset rule)",
+        f"  optimizer consults = {evals - hits:g}",
+        f"  evictions          = {evictions:g}",
+    ]
+    if analyze_hits:
+        lines.append(f"  analyze cache hits = {analyze_hits:g}")
+    return "\n".join(lines)
 
 
 def _row(name: Any, count: Any, a: Any, b: Any, c: Any) -> str:

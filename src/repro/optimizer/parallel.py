@@ -1,0 +1,186 @@
+"""Process-pool fan-out for workload costing.
+
+:class:`ParallelCoster` owns a ``ProcessPoolExecutor`` whose workers each
+hold a full :class:`~repro.optimizer.what_if.CostEvaluator` over (a copy
+of) the parent's stats-only database.  ``costs`` chunks a workload's
+statements contiguously, plans each chunk in a worker and reassembles the
+per-query costs **in the original order**, so the parent's weighted sum
+is bit-identical to a serial evaluation.
+
+Workers additionally ship back
+
+* the number of real optimizer invocations they performed (merged into
+  the parent's ``optimizer.calls`` accounting), and
+* every plan-cache entry they created that has not been shipped before
+  (``(sql, config keys, used keys | None, plan)``), which the parent
+  merges into its own exact + canonical cache tiers so later serial
+  lookups still hit.
+
+Workers are forked (the evaluator and database transfer by COW memory,
+not pickling).  On platforms without the ``fork`` start method -- or on
+any pool failure -- ``costs`` returns ``(None, 0, [])`` and the caller
+falls back to serial costing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
+
+from ..catalog import Index
+from ..engine import Database
+from ..sqlparser import ast
+
+__all__ = ["ParallelCoster"]
+
+# Per-worker-process state, set up by _init_worker after fork.
+_WORKER_EV = None
+_WORKER_EXPORTED: set = set()
+
+
+def _init_worker(db: Database, fast_path: bool) -> None:
+    global _WORKER_EV, _WORKER_EXPORTED
+    from .what_if import CostEvaluator
+
+    # The parent hands over its already-prepared evaluation database
+    # (indexes dropped when configurations are meant to be evaluated
+    # bare), so the worker must NOT clone/strip again:
+    # include_schema_indexes=True uses it as is.
+    _WORKER_EV = CostEvaluator(db, include_schema_indexes=True, fast_path=fast_path)
+    _WORKER_EXPORTED = set()
+
+
+def _run_chunk(
+    chunk_index: int, sqls: list[str], config: list[Index]
+) -> tuple[int, list[float], int, list[tuple]]:
+    """Cost one contiguous chunk of statements in this worker.
+
+    Returns ``(chunk_index, costs, optimizer-call delta, exported cache
+    entries)``.  Entries already shipped by this worker in a previous
+    chunk are not re-sent.
+    """
+    ev = _WORKER_EV
+    calls_before = ev.optimizer.calls
+    costs: list[float] = []
+    exported: list[tuple] = []
+    for sql in sqls:
+        info = ev.analyze(sql)
+        relevant = ev._relevant(info, config)
+        relevant_keys = frozenset(idx.key for idx in relevant)
+        cache_sql = info.cache_sql or info.stmt.to_sql()
+        key = (cache_sql, relevant_keys)
+        fresh = key not in ev._plan_cache
+        plan = ev.plan(info, config)
+        costs.append(plan.total_cost)
+        if fresh and key not in _WORKER_EXPORTED:
+            _WORKER_EXPORTED.add(key)
+            used_keys = None
+            if ev.fast_path and relevant and isinstance(info.stmt, ast.Select):
+                used_keys = frozenset(
+                    idx.key for idx in relevant if idx.name in plan.used_indexes
+                )
+            exported.append((cache_sql, relevant_keys, used_keys, plan))
+    return chunk_index, costs, ev.optimizer.calls - calls_before, exported
+
+
+class ParallelCoster:
+    """A lazy, reusable worker pool for one evaluation database."""
+
+    def __init__(
+        self,
+        db: Database,
+        include_schema_indexes: bool = True,
+        fast_path: bool = True,
+        jobs: int = 2,
+    ):
+        # ``db`` is the evaluator's internal database: when the evaluator
+        # was built with include_schema_indexes=False it is already the
+        # stripped stats clone, so workers always treat it as final.
+        del include_schema_indexes
+        self._db = db
+        self._fast_path = bool(fast_path)
+        self._jobs = max(1, int(jobs))
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+
+    def _ensure_pool(self) -> bool:
+        if self._executor is not None:
+            return True
+        if self._broken:
+            return False
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            self._broken = True
+            return False
+        try:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._jobs,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(self._db, self._fast_path),
+            )
+        except Exception:
+            self._broken = True
+            return False
+        return True
+
+    def costs(
+        self, sqls: list[str], config: list[Index], jobs: int
+    ) -> tuple[Optional[list[float]], int, list[tuple]]:
+        """Cost *sqls* under *config* across the pool.
+
+        Returns ``(per-query costs in input order, total optimizer-call
+        delta, exported cache entries)``; ``(None, 0, [])`` signals the
+        caller to fall back to serial costing.
+        """
+        if not self._ensure_pool():
+            return None, 0, []
+        n_chunks = min(max(1, int(jobs)), self._jobs, len(sqls))
+        if n_chunks < 2:
+            return None, 0, []
+        # Contiguous, deterministic chunking: chunk i gets sqls[starts[i]:starts[i+1]].
+        base, extra = divmod(len(sqls), n_chunks)
+        chunks: list[list[str]] = []
+        pos = 0
+        for i in range(n_chunks):
+            size = base + (1 if i < extra else 0)
+            chunks.append(sqls[pos : pos + size])
+            pos += size
+        try:
+            futures = [
+                self._executor.submit(_run_chunk, i, chunk, config)
+                for i, chunk in enumerate(chunks)
+            ]
+            results = [f.result() for f in futures]
+        except Exception:
+            # Pool died (worker crash, unpicklable payload, ...): mark it
+            # broken and let the caller cost serially.
+            self.close()
+            self._broken = True
+            return None, 0, []
+        results.sort(key=lambda r: r[0])
+        costs: list[float] = []
+        calls = 0
+        exported: list[tuple] = []
+        for _i, chunk_costs, chunk_calls, chunk_exported in results:
+            costs.extend(chunk_costs)
+            calls += chunk_calls
+            exported.extend(chunk_exported)
+        return costs, calls, exported
+
+    def close(self) -> None:
+        if self._executor is not None:
+            # wait=True: workers are idle here (all futures resolved), and
+            # a non-waiting shutdown races the concurrent.futures atexit
+            # hook, which then writes to a closed wakeup pipe (EBADF noise
+            # at interpreter exit).
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __del__(self):   # pragma: no cover - interpreter-shutdown ordering
+        try:
+            self.close()
+        except Exception:
+            pass

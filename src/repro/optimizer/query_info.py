@@ -86,6 +86,9 @@ class QueryInfo:
             unless the index holds every column).
         straight_join: join order is predetermined (MySQL STRAIGHT_JOIN).
         limit: LIMIT value if present (``-1`` for a parameterized limit).
+        cache_sql: the statement's canonical SQL text, rendered once at
+            analysis time.  What-if caches key on it instead of calling
+            ``stmt.to_sql()`` per plan request.
     """
 
     stmt: ast.Statement
@@ -99,6 +102,10 @@ class QueryInfo:
     select_star: bool = False
     straight_join: bool = False
     limit: Optional[int] = None
+    cache_sql: str = ""
+    _usable_columns: Optional[dict[str, frozenset[str]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def table_of(self, binding: str) -> str:
         return self.bindings[binding]
@@ -118,14 +125,63 @@ class QueryInfo:
     def is_join_query(self) -> bool:
         return len(self.bindings) > 1
 
+    def usable_columns(self) -> dict[str, frozenset[str]]:
+        """Per real table: columns whose presence in an index key can
+        possibly change this SELECT's plan.
+
+        Mirrors the access-path enumerator's usefulness test
+        (:func:`repro.optimizer.access_path.enumerate_paths` rejects any
+        index path that matches no equality/range predicate and satisfies
+        no interesting order): an index is a candidate access path only if
+        one of its key columns
+
+        * carries a sargable (eq-class or range) filter predicate,
+        * sits on a join edge (it may become a probe equality once the
+          other side is bound),
+        * or appears in GROUP BY / ORDER BY.
+
+        An index on a table the query touches but with *no* usable column
+        is therefore invisible to the optimizer for this query, and the
+        what-if layer prunes it without an optimizer call.  The map is
+        computed once per analyzed statement and shared by every
+        evaluator holding this ``QueryInfo``.
+
+        Only meaningful for SELECT statements: DML plans charge
+        maintenance for *every* index on the written table, so DML must
+        never be pruned by columns.
+        """
+        if self._usable_columns is None:
+            per_table: dict[str, set[str]] = {}
+            for binding, table in self.bindings.items():
+                cols = per_table.setdefault(table, set())
+                for pred in self.filters.get(binding, []):
+                    if pred.is_sargable:
+                        cols.add(pred.column.column)
+                for edge in self.join_edges:
+                    if edge.touches(binding):
+                        cols.add(edge.column_of(binding))
+                for g_binding, column in self.group_by:
+                    if g_binding == binding:
+                        cols.add(column)
+                for item in self.order_by:
+                    if item.binding == binding:
+                        cols.add(item.column)
+            self._usable_columns = {
+                table: frozenset(cols) for table, cols in per_table.items()
+            }
+        return self._usable_columns
+
 
 def analyze_query(stmt: ast.Statement, schema: Schema) -> QueryInfo:
     """Resolve and analyze *stmt* against *schema*."""
     if isinstance(stmt, ast.Select):
-        return _analyze_select(stmt, schema)
-    if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
-        return _analyze_dml(stmt, schema)
-    raise TypeError(f"cannot analyze {type(stmt).__name__}")
+        info = _analyze_select(stmt, schema)
+    elif isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+        info = _analyze_dml(stmt, schema)
+    else:
+        raise TypeError(f"cannot analyze {type(stmt).__name__}")
+    info.cache_sql = stmt.to_sql()
+    return info
 
 
 def _analyze_select(stmt: ast.Select, schema: Schema) -> QueryInfo:

@@ -5,23 +5,50 @@ drives: *what would query q cost under index configuration X?*  Indexes
 are evaluated dataless -- catalog + statistics only, exactly the
 AutoAdmin "what-if" / HypoPG mechanism the paper builds on (Sec. III-A4).
 
-Costs are cached per (query, relevant index subset): a configuration's
-indexes on tables the query never touches cannot change its plan, so the
-cache key projects the configuration onto the query's tables.  This
-mirrors the cost-caching of the Kossmann et al. evaluation framework and
-keeps repeated evaluations of overlapping configurations cheap.
+The evaluator "rarely consults the optimizer" (paper Sec. III) through a
+tiered fast path:
+
+* **Relevance pruning** (tier 0): a configuration is projected onto the
+  indexes that can possibly serve the query -- same table AND at least
+  one key column carrying a sargable predicate, join edge, GROUP BY or
+  ORDER BY column (:meth:`QueryInfo.usable_columns`).  An index the
+  access-path enumerator would reject anyway short-circuits to the
+  bare-config plan with zero optimizer calls.  DML is never
+  column-pruned (every index on the written table pays maintenance).
+* **L1 exact cache**: bounded LRU keyed by ``(statement SQL, structural
+  keys of the relevant subset)``.
+* **L2 canonical cache** (SELECT only): the AutoAdmin atomic-
+  configuration rule.  When planning relevant set ``C`` produced plan
+  ``P`` using subset ``used(C)``, any lookup ``C'`` with
+  ``used(C) ⊆ C' ⊆ C`` is served ``P`` without an optimizer call: every
+  path available under ``C'`` was available under ``C`` (``C' ⊆ C``), so
+  ``P`` -- optimal under ``C`` and feasible under ``C'``
+  (``used(C) ⊆ C'``) -- is optimal under ``C'`` too.
+
+Both tiers are bounded; evictions and hits are exported as ``whatif.*``
+counters (docs/OBSERVABILITY.md).  Set ``REPRO_WHATIF_FASTPATH=0`` to
+fall back to the seed behaviour (exact table-projected cache only).
 """
 
 from __future__ import annotations
 
+import os
 from typing import Collection, Iterable, Optional
 
 from ..catalog import Index
 from ..engine import Database
 from ..obs import counter, histogram
+from ..sqlparser import ast
+from .analysis_cache import LRUCache, analyze_cached
 from .optimizer import Optimizer, Statement
 from .plan import Plan
 from .query_info import QueryInfo
+
+#: Bound on the per-evaluator L1 exact plan cache.
+DEFAULT_PLAN_CACHE_SIZE = 8192
+
+#: Bound on canonical entries kept per statement (L2).
+CANONICAL_ENTRIES_PER_STATEMENT = 16
 
 # Metric handles are resolved at call time: binding them at import time
 # would pin them to whatever registry was current when this module first
@@ -39,10 +66,28 @@ def _whatif_hits():
     return counter("whatif.cache_hits", "what-if plan cache hits").labels()
 
 
+def _whatif_canonical_hits():
+    return counter(
+        "whatif.canonical_hits",
+        "what-if hits served by the canonical used(C)⊆C'⊆C rule",
+    ).labels()
+
+
+def _whatif_evictions():
+    return counter(
+        "whatif.cache_evictions", "what-if plan cache LRU evictions"
+    ).labels()
+
+
 def _whatif_cost():
     return histogram(
         "whatif.plan_cost", "plan costs of uncached what-if evaluations"
     ).labels()
+
+
+def fast_path_default() -> bool:
+    """The process default for the what-if fast path (env-overridable)."""
+    return os.environ.get("REPRO_WHATIF_FASTPATH", "1") != "0"
 
 
 class CostEvaluator:
@@ -55,9 +100,24 @@ class CostEvaluator:
             clustered PKs plus the hypothetical configuration exist.  When
             True, the database's current secondary indexes stay visible
             (continuous-tuning mode).
+        fast_path: enable relevance pruning + the canonical cache tier.
+            ``None`` reads the ``REPRO_WHATIF_FASTPATH`` env default
+            (:func:`fast_path_default`); False reproduces the seed's
+            exact-cache-only behaviour.
+        jobs: default process fan-out for :meth:`workload_cost` (1 =
+            serial; the pool is created lazily on first parallel call).
+        max_cache_entries: L1 LRU bound.
     """
 
-    def __init__(self, db: Database, include_schema_indexes: bool = False):
+    def __init__(
+        self,
+        db: Database,
+        include_schema_indexes: bool = False,
+        fast_path: Optional[bool] = None,
+        jobs: int = 1,
+        max_cache_entries: int = DEFAULT_PLAN_CACHE_SIZE,
+    ):
+        self._include_schema_indexes = include_schema_indexes
         if include_schema_indexes:
             self._db = db
         else:
@@ -65,39 +125,134 @@ class CostEvaluator:
             for index in self._db.schema.indexes():
                 self._db.schema.drop_index(index)
         self.optimizer = Optimizer(self._db)
-        self._plan_cache: dict[tuple[str, frozenset[str]], Plan] = {}
-        self._info_cache: dict[str, QueryInfo] = {}
+        self.fast_path = (
+            fast_path_default() if fast_path is None else bool(fast_path)
+        )
+        self.jobs = max(1, int(jobs))
+        self._plan_cache: LRUCache = LRUCache(
+            max_cache_entries, on_evict=self._record_eviction
+        )
+        # sql -> [(used keys, config keys, plan), ...] newest last.
+        self._canonical: dict[str, list[tuple[frozenset, frozenset, Plan]]] = {}
+        self._pool = None                 # lazy ParallelCoster
         self.cache_hits = 0
+        self.canonical_hits = 0
+        self.cache_evictions = 0
+
+    # -- bookkeeping --------------------------------------------------------
 
     @property
     def optimizer_calls(self) -> int:
-        """Number of *uncached* optimizer invocations so far."""
+        """Number of *uncached* optimizer invocations so far (worker
+        processes' invocations are merged in by parallel costing)."""
         return self.optimizer.calls
 
+    def _record_eviction(self, _key, _plan) -> None:
+        self.cache_evictions += 1
+        _whatif_evictions().inc()
+
+    def cache_stats(self) -> dict:
+        """Cache-tier snapshot (bench_perf / obs-report material)."""
+        return {
+            "exact_hits": self.cache_hits - self.canonical_hits,
+            "canonical_hits": self.canonical_hits,
+            "evictions": self.cache_evictions,
+            "l1_entries": len(self._plan_cache),
+            "canonical_statements": len(self._canonical),
+            "optimizer_calls": self.optimizer.calls,
+        }
+
+    # -- analysis -----------------------------------------------------------
+
     def analyze(self, stmt: Statement) -> QueryInfo:
-        if isinstance(stmt, QueryInfo):
-            return stmt
-        key = stmt if isinstance(stmt, str) else stmt.to_sql()
-        if key not in self._info_cache:
-            self._info_cache[key] = self.optimizer.analyze(stmt)
-        return self._info_cache[key]
+        return analyze_cached(self._db.schema, stmt)
+
+    # -- planning -----------------------------------------------------------
+
+    def _relevant(self, info: QueryInfo, config: Collection[Index]) -> list[Index]:
+        """Project *config* onto the indexes that can affect *info*'s plan."""
+        if not config:
+            return []
+        if self.fast_path and isinstance(info.stmt, ast.Select):
+            usable = info.usable_columns()
+            return [
+                idx.as_dataless()
+                for idx in config
+                if not usable.get(idx.table, _EMPTY).isdisjoint(idx.columns)
+            ]
+        tables = set(info.bindings.values())
+        return [idx.as_dataless() for idx in config if idx.table in tables]
 
     def plan(self, stmt: Statement, config: Collection[Index] = ()) -> Plan:
         """Plan *stmt* under hypothetical configuration *config*."""
         info = self.analyze(stmt)
-        tables = set(info.bindings.values())
-        relevant = [idx.as_dataless() for idx in config if idx.table in tables]
-        key = (info.stmt.to_sql(), frozenset(idx.name for idx in relevant))
+        relevant = self._relevant(info, config)
+        sql = info.cache_sql or info.stmt.to_sql()
+        relevant_keys = frozenset(idx.key for idx in relevant)
+        key = (sql, relevant_keys)
         _whatif_evals().inc()
         cached = self._plan_cache.get(key)
         if cached is not None:
             self.cache_hits += 1
             _whatif_hits().inc()
             return cached
+        is_select = isinstance(info.stmt, ast.Select)
+        if self.fast_path and is_select and relevant:
+            canonical = self._canonical_lookup(sql, relevant_keys)
+            if canonical is not None:
+                self.cache_hits += 1
+                self.canonical_hits += 1
+                _whatif_hits().inc()
+                _whatif_canonical_hits().inc()
+                # Promote to an exact entry: the next identical lookup is O(1).
+                self._plan_cache.put(key, canonical)
+                return canonical
         plan = self.optimizer.explain(info, extra_indexes=relevant)
-        self._plan_cache[key] = plan
+        self._plan_cache.put(key, plan)
+        if self.fast_path and is_select and relevant:
+            used_keys = frozenset(
+                idx.key for idx in relevant if idx.name in plan.used_indexes
+            )
+            self._canonical_store(sql, used_keys, relevant_keys, plan)
         _whatif_cost().observe(plan.total_cost)
         return plan
+
+    def _canonical_lookup(
+        self, sql: str, config_keys: frozenset
+    ) -> Optional[Plan]:
+        entries = self._canonical.get(sql)
+        if not entries:
+            return None
+        for used, config, plan in reversed(entries):
+            if used <= config_keys <= config:
+                return plan
+        return None
+
+    def _canonical_store(
+        self,
+        sql: str,
+        used_keys: frozenset,
+        config_keys: frozenset,
+        plan: Plan,
+    ) -> None:
+        if used_keys == config_keys:
+            # Serves only C' == C, which the exact tier already covers.
+            return
+        entries = self._canonical.setdefault(sql, [])
+        for i, (used, config, _existing) in enumerate(entries):
+            if used == used_keys:
+                if config_keys <= config:
+                    return                      # existing entry is wider
+                if config <= config_keys:
+                    entries[i] = (used_keys, config_keys, plan)
+                    return                      # widen in place
+        entries.append((used_keys, config_keys, plan))
+        if len(entries) > CANONICAL_ENTRIES_PER_STATEMENT:
+            entries.pop(0)
+            self.cache_evictions += 1
+            _whatif_evictions().inc()
+
+    # -- costs --------------------------------------------------------------
 
     def cost(self, stmt: Statement, config: Collection[Index] = ()) -> float:
         return self.plan(stmt, config).total_cost
@@ -106,9 +261,98 @@ class CostEvaluator:
         self,
         queries: Iterable[tuple[Statement, float]],
         config: Collection[Index] = (),
+        jobs: Optional[int] = None,
     ) -> float:
-        """Weighted workload cost: ``sum w_q * cost(q, X)`` (Eq. 1)."""
-        return sum(weight * self.cost(stmt, config) for stmt, weight in queries)
+        """Weighted workload cost: ``sum w_q * cost(q, X)`` (Eq. 1).
+
+        With ``jobs > 1`` the per-query plans are computed by a process
+        pool (deterministic chunking; the weighted sum is accumulated in
+        the original query order, so the result is bit-identical to the
+        serial one).  Workers ship their new plan-cache entries back, so
+        later serial lookups still hit.
+        """
+        items = list(queries)
+        n_jobs = self.jobs if jobs is None else max(1, int(jobs))
+        if n_jobs > 1 and len(items) > 1:
+            costs = self._parallel_costs(items, config, n_jobs)
+            if costs is not None:
+                return sum(
+                    weight * cost
+                    for (_stmt, weight), cost in zip(items, costs)
+                )
+        return sum(weight * self.cost(stmt, config) for stmt, weight in items)
+
+    def _parallel_costs(
+        self,
+        items: list[tuple[Statement, float]],
+        config: Collection[Index],
+        jobs: int,
+    ) -> Optional[list[float]]:
+        """Fan one workload costing out to the process pool.
+
+        Returns None (fall back to serial) when the pool cannot be used,
+        e.g. statements that are not picklable as SQL text.
+        """
+        from .parallel import ParallelCoster
+
+        # Serve items this evaluator has already planned locally and ship
+        # only the misses: warm costings never touch the pool, and the
+        # (worker-affinity-dependent) duplicated work across workers is
+        # limited to genuinely new (statement, config) pairs.
+        resolved: list[Optional[float]] = [None] * len(items)
+        sqls: list[str] = []
+        miss_at: list[int] = []
+        for i, (stmt, _weight) in enumerate(items):
+            info = self.analyze(stmt)
+            relevant_keys = frozenset(
+                idx.key for idx in self._relevant(info, config)
+            )
+            sql = info.cache_sql or info.stmt.to_sql()
+            if (sql, relevant_keys) in self._plan_cache:
+                resolved[i] = self.cost(info, config)
+            else:
+                sqls.append(sql)
+                miss_at.append(i)
+        if not sqls:
+            return resolved
+        if len(sqls) < 2:
+            for i in miss_at:
+                stmt, _weight = items[i]
+                resolved[i] = self.cost(stmt, config)
+            return resolved
+        if self._pool is None:
+            self._pool = ParallelCoster(
+                self._db,
+                include_schema_indexes=self._include_schema_indexes,
+                fast_path=self.fast_path,
+                jobs=jobs,
+            )
+        costs, calls, exported = self._pool.costs(sqls, list(config), jobs)
+        if costs is None:
+            return None
+        # Merge worker work back into this evaluator's accounting/caches.
+        self.optimizer.calls += calls
+        for sql, config_keys, used_keys, plan in exported:
+            self._plan_cache.put((sql, config_keys), plan)
+            if used_keys is not None:
+                self._canonical_store(sql, used_keys, config_keys, plan)
+        for i, cost in zip(miss_at, costs):
+            resolved[i] = cost
+        return resolved
+
+    def close(self) -> None:
+        """Shut down the parallel pool (if one was started)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __del__(self):   # pragma: no cover - interpreter-shutdown ordering
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- introspection ------------------------------------------------------
 
     def used_subset(
         self, stmt: Statement, config: Collection[Index]
@@ -117,3 +361,6 @@ class CostEvaluator:
         plan = self.plan(stmt, config)
         used = plan.used_indexes
         return [idx for idx in config if idx.name in used]
+
+
+_EMPTY: frozenset = frozenset()

@@ -73,9 +73,12 @@ class Case:
             from ..stats import analyze_table
 
             for table in self.tables:
-                db.set_stats(
-                    table.name, analyze_table(table, self.rows[table.name])
-                )
+                rows = self.rows[table.name]
+                by_column = {
+                    col: [row.get(col) for row in rows]
+                    for col in table.column_names
+                }
+                db.set_stats(table.name, analyze_table(by_column))
             return db
         db.analyze()
         return db

@@ -21,6 +21,7 @@ class WorkloadQuery:
     name: str = ""
 
     _stmt: Optional[ast.Statement] = field(default=None, repr=False, compare=False)
+    _normalized_sql: Optional[str] = field(default=None, repr=False, compare=False)
 
     @property
     def stmt(self) -> ast.Statement:
@@ -30,7 +31,11 @@ class WorkloadQuery:
 
     @property
     def normalized_sql(self) -> str:
-        return normalize_statement(self.stmt).to_sql()
+        # Memoized: advisors key per-query candidate maps on it, so it is
+        # recomputed many times per query per run otherwise.
+        if self._normalized_sql is None:
+            self._normalized_sql = normalize_statement(self.stmt).to_sql()
+        return self._normalized_sql
 
     @property
     def is_dml(self) -> bool:

@@ -1,0 +1,143 @@
+"""What-if fast-path equivalence: the caches must never change an answer.
+
+The canonical-cache/pruning tier (``fast_path``) and the process-pool
+costing are pure optimizations: every cost and every used-index subset
+they return must be bit-identical to the seed behaviour (exact cache
+only, serial).  These tests drive both through a 200-case ``repro.qa``
+corpus and through full advisor runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ALL_ALGORITHMS
+from repro.baselines.cost_eval import candidate_pool
+from repro.core import AimAdvisor, AimConfig
+from repro.optimizer import CostEvaluator
+from repro.qa.generator import generate_case
+from repro.workload import Workload
+
+CORPUS_CASES = 200
+MAX_POOL = 6
+
+BUDGET = 20 << 20
+
+
+def _corpus_case(seed: int):
+    case = generate_case(seed)
+    db = case.database(with_storage=False)
+    workload = Workload.from_sql([(sql, 1.0) for sql in case.statements])
+    legacy = CostEvaluator(db, fast_path=False)
+    pool = candidate_pool(legacy, workload, max_width=2, with_permutations=False)
+    return case, db, legacy, pool[:MAX_POOL]
+
+
+def test_corpus_fast_path_equivalence():
+    """Cold, warm and canonical-hit costs match the seed bit for bit."""
+    canonical_hits = 0
+    for seed in range(CORPUS_CASES):
+        case, db, legacy, pool = _corpus_case(seed)
+        fast = CostEvaluator(db, fast_path=True)
+        # Full pool first so subset lookups can hit the canonical tier.
+        for config in (pool, pool[::2], []):
+            for sql in case.statements:
+                expected = legacy.cost(sql, config)
+                assert fast.cost(sql, config) == expected, (seed, sql)
+                # Warm: the second identical request is a pure cache hit.
+                assert fast.cost(sql, config) == expected, (seed, sql)
+                used_legacy = {i.key for i in legacy.used_subset(sql, config)}
+                used_fast = {i.key for i in fast.used_subset(sql, config)}
+                assert used_fast == used_legacy, (seed, sql)
+        canonical_hits += fast.canonical_hits
+    # The corpus actually exercises the canonical subset rule.
+    assert canonical_hits > 0
+
+
+def test_corpus_lru_eviction_invariance():
+    """A tiny LRU bound evicts constantly but never changes a cost."""
+    total_evictions = 0
+    for seed in range(0, CORPUS_CASES, 10):
+        case, db, legacy, pool = _corpus_case(seed)
+        small = CostEvaluator(db, fast_path=True, max_cache_entries=2)
+        for _round in range(2):
+            for config in (pool, pool[::2], []):
+                for sql in case.statements:
+                    assert small.cost(sql, config) == legacy.cost(sql, config), (
+                        seed,
+                        sql,
+                    )
+        total_evictions += small.cache_evictions
+    assert total_evictions > 0
+
+
+def _workload() -> Workload:
+    return Workload.from_sql([
+        ("SELECT amount FROM orders WHERE created < 10000", 50.0),
+        ("SELECT name FROM users WHERE city = 'c3' AND age > 75", 30.0),
+        ("SELECT u.name, o.amount FROM users u, orders o "
+         "WHERE u.id = o.user_id AND o.status = 'paid' AND u.city = 'c1'", 20.0),
+        ("SELECT status, COUNT(*) FROM orders GROUP BY status", 5.0),
+        ("UPDATE orders SET status = 'done' WHERE oid = 5", 2.0),
+    ])
+
+
+@pytest.mark.parametrize("name", ["autoadmin", "extend"])
+def test_parallel_algorithm_output_identical(db, name):
+    """jobs=4 selection is byte-identical to serial (indexes and costs)."""
+    serial = ALL_ALGORITHMS[name](db).select(_workload(), BUDGET)
+    parallel_algo = ALL_ALGORITHMS[name](db)
+    parallel_algo.jobs = 4
+    parallel = parallel_algo.select(_workload(), BUDGET)
+    assert [i.key for i in parallel.indexes] == [i.key for i in serial.indexes]
+    assert parallel.cost_before == serial.cost_before
+    assert parallel.cost_after == serial.cost_after
+
+
+def test_parallel_advisor_output_identical(db):
+    """AimConfig(jobs=4) recommends exactly what the serial advisor does."""
+    serial = AimAdvisor(db, AimConfig(jobs=1)).recommend(_workload(), BUDGET)
+    parallel = AimAdvisor(db, AimConfig(jobs=4)).recommend(_workload(), BUDGET)
+    assert [r.index.key for r in parallel.created] == [
+        r.index.key for r in serial.created
+    ]
+    assert parallel.cost_before == serial.cost_before
+    assert parallel.cost_after == serial.cost_after
+
+
+def test_parallel_workload_cost_identical(db):
+    """workload_cost(jobs=4) equals the serial sum bit for bit."""
+    pairs = list(_workload().pairs())
+    config = candidate_pool(
+        CostEvaluator(db), _workload(), max_width=2, with_permutations=False
+    )
+    serial = CostEvaluator(db)
+    parallel = CostEvaluator(db, jobs=4)
+    try:
+        assert parallel.workload_cost(pairs, config) == serial.workload_cost(
+            pairs, config
+        )
+        # Warm parallel costing is served from the merged-back caches.
+        calls = parallel.optimizer.calls
+        assert parallel.workload_cost(pairs, config) == serial.workload_cost(
+            pairs, config
+        )
+        assert parallel.optimizer.calls == calls
+    finally:
+        parallel.close()
+        serial.close()
+
+
+def test_evaluator_reuse_counts_per_run(db):
+    """A reused evaluator keeps its caches; per-run call counts are deltas."""
+    algo = ALL_ALGORITHMS["autoadmin"](db)
+    evaluator = CostEvaluator(db, include_schema_indexes=False)
+    try:
+        cold = algo.select(_workload(), BUDGET, evaluator=evaluator)
+        warm = algo.select(_workload(), BUDGET, evaluator=evaluator)
+    finally:
+        evaluator.close()
+    assert [i.key for i in warm.indexes] == [i.key for i in cold.indexes]
+    assert warm.cost_after == cold.cost_after
+    assert cold.optimizer_calls > 0
+    assert warm.optimizer_calls == 0
