@@ -1,0 +1,8 @@
+"""``python -m repro`` -- the CLI entry point (same as ``python -m repro.cli``)."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,7 +26,15 @@ from typing import Iterator, Optional
 
 from ..catalog import Index
 from ..engine import Database
-from ..obs import AdvisorDecision, Span, emit, get_registry, trace
+from ..obs import (
+    AdvisorDecision,
+    Span,
+    capture_now,
+    emit,
+    get_registry,
+    profile,
+    trace,
+)
 from ..optimizer import CostEvaluator
 from ..workload import (
     SelectionPolicy,
@@ -60,13 +68,18 @@ def advisor_phase(name: str, evaluator: CostEvaluator) -> Iterator[Span]:
     """
     registry = get_registry()
     calls_before = evaluator.optimizer_calls
+    phase = name.rsplit(".", 1)[-1]
+    active = registry.gauge(
+        "advisor.phase.active", "1 while the labeled phase is running"
+    )
+    active.set(1, phase=phase)
     with trace(name) as span:
         try:
-            yield span
+            with profile(name):
+                yield span
         finally:
             delta = evaluator.optimizer_calls - calls_before
             span.set(optimizer_calls=delta)
-            phase = name.rsplit(".", 1)[-1]
             registry.histogram(
                 "advisor.phase.seconds", "wall seconds per advisor phase"
             ).observe(span.duration, phase=phase)
@@ -74,6 +87,9 @@ def advisor_phase(name: str, evaluator: CostEvaluator) -> Iterator[Span]:
                 "advisor.phase.optimizer_calls",
                 "optimizer invocations per advisor phase",
             ).observe(delta, phase=phase)
+            active.set(0, phase=phase)
+            # A phase boundary is a natural dashboard refresh point.
+            capture_now()
 
 
 @dataclass(frozen=True)

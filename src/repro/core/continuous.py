@@ -13,7 +13,15 @@ from typing import Optional
 
 from ..catalog import Index
 from ..engine import Database
-from ..obs import CycleEnd, CycleStart, DdlApplied, WorkloadDigest, emit
+from ..obs import (
+    CycleEnd,
+    CycleStart,
+    DdlApplied,
+    WorkloadDigest,
+    capture_now,
+    emit,
+    get_registry,
+)
 from ..optimizer import CostEvaluator
 from ..workload import (
     SelectionPolicy,
@@ -163,6 +171,18 @@ class ContinuousTuner:
                 ),
             )
         )
+        registry = get_registry()
+        registry.counter(
+            "tuner.cycles", "completed continuous-tuning cycles"
+        ).inc(1, database=self.db.name)
+        registry.gauge(
+            "tuner.last_improvement",
+            "workload-cost improvement of the most recent cycle",
+        ).set(
+            recommendation.improvement if recommendation else 0.0,
+            database=self.db.name,
+        )
+        capture_now()
         return result
 
     def _emit_ddl(self, action: str, index: Index) -> None:

@@ -14,7 +14,7 @@ from typing import Optional
 
 from ..core import AimConfig, ContinuousTuner, TuningCycleResult
 from ..engine import Database
-from ..obs import IndexRollback, emit, get_registry, trace
+from ..obs import IndexRollback, capture_now, emit, get_registry, trace
 from ..workload import SelectionPolicy
 from .regression import ContinuousRegressionDetector
 from .replica import ReplicaSet
@@ -75,6 +75,9 @@ class FleetCoordinator:
     def scan_and_tune(self) -> dict[str, TuningCycleResult]:
         """One coordinator sweep over the fleet."""
         registry = get_registry()
+        registry.gauge(
+            "fleet.managed", "databases under coordinator management"
+        ).set(len(self.managed))
         results: dict[str, TuningCycleResult] = {}
         with trace("fleet.scan_and_tune", managed=len(self.managed)) as span:
             for name, managed in self.managed.items():
@@ -90,6 +93,7 @@ class FleetCoordinator:
                 if result.changed:
                     managed.replica_set.apply_ddl()   # flush replica plan caches
                 results[name] = result
+                capture_now()
             span.set(tuned=len(results))
         return results
 

@@ -53,6 +53,26 @@ from .metrics import (
     histogram,
     set_registry,
 )
+from .profiler import (
+    SamplingProfiler,
+    disable_profiler,
+    enable_profiler,
+    get_profiler,
+    profile,
+    profiler_from_env,
+    set_profiler,
+)
+from .snapshots import (
+    MetricsSnapshotBus,
+    capture_now,
+    counter_deltas,
+    counter_rates,
+    default_status_path,
+    get_bus,
+    load_status,
+    serve_status,
+    set_bus,
+)
 from .tracer import (
     Span,
     Tracer,
@@ -77,9 +97,25 @@ __all__ = [
     "OracleViolation",
     "PlanEstimate",
     "RegressionFlagged",
+    "MetricsSnapshotBus",
+    "SamplingProfiler",
     "Span",
     "Tracer",
     "WorkloadDigest",
+    "capture_now",
+    "counter_deltas",
+    "counter_rates",
+    "default_status_path",
+    "disable_profiler",
+    "enable_profiler",
+    "get_bus",
+    "get_profiler",
+    "load_status",
+    "profile",
+    "profiler_from_env",
+    "serve_status",
+    "set_bus",
+    "set_profiler",
     "counter",
     "decode_event",
     "emit",
@@ -104,10 +140,14 @@ __all__ = [
 def telemetry_snapshot() -> dict:
     """The ``telemetry`` block attached to bench results and CLI output:
     the registry snapshot plus per-span-name timing aggregates."""
-    return {
+    snapshot = {
         "metrics": get_registry().snapshot(),
         "spans": get_tracer().summary(),
     }
+    profiler = get_profiler()
+    if profiler is not None and profiler.samples:
+        snapshot["profiler"] = profiler.to_dict()
+    return snapshot
 
 
 def reset_telemetry() -> None:
@@ -117,6 +157,9 @@ def reset_telemetry() -> None:
     get_registry().reset()
     get_tracer().reset()
     get_journal().reset()
+    profiler = get_profiler()
+    if profiler is not None:
+        profiler.reset()
 
 
 def record_execution_metrics(metrics, kind: str = "select") -> None:

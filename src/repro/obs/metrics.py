@@ -13,7 +13,9 @@ well under the 5% budget of the advisor benches.
 
 from __future__ import annotations
 
+import random
 import threading
+import zlib
 from typing import Any, Optional
 
 __all__ = [
@@ -31,8 +33,12 @@ __all__ = [
 LabelKey = tuple[tuple[str, str], ...]
 
 #: Raw observations retained per histogram child for percentile math.
-#: Past the cap, observations are decimated (every ``stride``-th kept) so
-#: memory stays bounded while count/sum/min/max remain exact.
+#: Below the cap every observation is kept and quantiles are exact; past
+#: it the child switches to reservoir sampling (Algorithm R) with an RNG
+#: seeded from the metric name + label key, so memory stays bounded,
+#: count/sum/min/max remain exact, and a given observation sequence
+#: always retains the same sample set (deterministic across runs and
+#: processes).
 HISTOGRAM_SAMPLE_CAP = 4096
 
 
@@ -63,12 +69,35 @@ class _Metric:
             with self._lock:
                 child = self._children.get(key)
                 if child is None:
-                    child = self._make_child()
+                    child = self._make_child(key)
                     self._children[key] = child
         return child
 
-    def _make_child(self):   # pragma: no cover - overridden
+    def _child_by_key(self, key: LabelKey):
+        """Get-or-create a child from an already-built label key (merge path)."""
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child(key)
+                    self._children[key] = child
+        return child
+
+    def _make_child(self, key: LabelKey):   # pragma: no cover - overridden
         raise NotImplementedError
+
+    def _child_seed(self, key: LabelKey) -> int:
+        """Deterministic per-child RNG seed (metric name + label key)."""
+        return zlib.crc32(f"{self.name}|{_label_str(key)}".encode())
+
+    def dump(self) -> list:
+        """Raw per-child state as ``[[label pairs], state]`` rows
+        (picklable/JSON-able; consumed by :meth:`MetricsRegistry.merge_state`)."""
+        return [
+            [[list(pair) for pair in key], child.dump()]
+            for key, child in sorted(self.children().items())
+        ]
 
     def children(self) -> dict[LabelKey, Any]:
         with self._lock:
@@ -95,13 +124,16 @@ class _CounterChild:
         with self._lock:
             self.value = 0.0
 
+    def dump(self) -> float:
+        return self.value
+
 
 class Counter(_Metric):
     """Monotonically increasing count (events, calls, rows)."""
 
     kind = "counter"
 
-    def _make_child(self) -> _CounterChild:
+    def _make_child(self, key: LabelKey) -> _CounterChild:
         return _CounterChild()
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
@@ -140,13 +172,16 @@ class _GaugeChild:
         with self._lock:
             self.value = 0.0
 
+    def dump(self) -> float:
+        return self.value
+
 
 class Gauge(_Metric):
     """Point-in-time value (queue depth, configured budget, cache size)."""
 
     kind = "gauge"
 
-    def _make_child(self) -> _GaugeChild:
+    def _make_child(self, key: LabelKey) -> _GaugeChild:
         return _GaugeChild()
 
     def set(self, value: float, **labels: Any) -> None:
@@ -166,17 +201,17 @@ class Gauge(_Metric):
 
 
 class _HistogramChild:
-    __slots__ = ("_lock", "count", "sum", "min", "max", "_samples", "_stride", "_skip")
+    __slots__ = ("_lock", "count", "sum", "min", "max", "_samples", "_rng", "_seed")
 
-    def __init__(self):
+    def __init__(self, seed: int = 0):
         self._lock = threading.Lock()
         self.count = 0
         self.sum = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self._samples: list[float] = []
-        self._stride = 1
-        self._skip = 0
+        self._seed = seed
+        self._rng = random.Random(seed)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -185,14 +220,24 @@ class _HistogramChild:
             self.sum += value
             self.min = value if self.min is None else min(self.min, value)
             self.max = value if self.max is None else max(self.max, value)
-            if self._skip > 0:
-                self._skip -= 1
-                return
-            self._skip = self._stride - 1
+            self._reserve(value)
+
+    def _reserve(self, value: float) -> None:
+        """Retain *value* with probability cap/count (Algorithm R).
+
+        Below ``HISTOGRAM_SAMPLE_CAP`` every observation is kept (exact
+        quantiles); past it each new observation replaces a random
+        retained one with probability cap/count, giving a uniform sample
+        of the whole stream under bounded memory.  The RNG is seeded per
+        child, so retention is deterministic for a given observation
+        sequence.
+        """
+        if len(self._samples) < HISTOGRAM_SAMPLE_CAP:
             self._samples.append(value)
-            if len(self._samples) >= HISTOGRAM_SAMPLE_CAP:
-                self._samples = self._samples[::2]
-                self._stride *= 2
+            return
+        j = self._rng.randrange(self.count)
+        if j < HISTOGRAM_SAMPLE_CAP:
+            self._samples[j] = value
 
     def percentile(self, p: float) -> float:
         """Linear-interpolated percentile over the retained samples."""
@@ -224,6 +269,35 @@ class _HistogramChild:
             "p99": self.percentile(99),
         }
 
+    def dump(self) -> dict:
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min,
+                "max": self.max,
+                "samples": list(self._samples),
+            }
+
+    def merge(self, state: dict) -> None:
+        """Fold another child's dumped state into this one (cross-process
+        merge-back): counts and sums add, min/max combine, and the shipped
+        samples flow through this child's reservoir."""
+        with self._lock:
+            other_min = state.get("min")
+            other_max = state.get("max")
+            if other_min is not None:
+                self.min = other_min if self.min is None else min(self.min, other_min)
+            if other_max is not None:
+                self.max = other_max if self.max is None else max(self.max, other_max)
+            for value in state.get("samples", ()):
+                self.count += 1
+                self._reserve(float(value))
+            # Observations the shipper's reservoir had already dropped
+            # still count toward count/sum (they can no longer be sampled).
+            self.count += int(state.get("count", 0)) - len(state.get("samples", ()))
+            self.sum += float(state.get("sum", 0.0))
+
     def reset(self) -> None:
         with self._lock:
             self.count = 0
@@ -231,8 +305,7 @@ class _HistogramChild:
             self.min = None
             self.max = None
             self._samples = []
-            self._stride = 1
-            self._skip = 0
+            self._rng = random.Random(self._seed)
 
 
 class Histogram(_Metric):
@@ -240,8 +313,8 @@ class Histogram(_Metric):
 
     kind = "histogram"
 
-    def _make_child(self) -> _HistogramChild:
-        return _HistogramChild()
+    def _make_child(self, key: LabelKey) -> _HistogramChild:
+        return _HistogramChild(self._child_seed(key))
 
     def observe(self, value: float, **labels: Any) -> None:
         self.labels(**labels).observe(value)
@@ -303,6 +376,46 @@ class MetricsRegistry:
         """Zero every metric in place (module-bound children stay valid)."""
         for metric in self.metrics().values():
             metric.reset()
+
+    # -- cross-process propagation -------------------------------------------
+
+    def dump_state(self) -> dict:
+        """Raw, lossless registry state for shipment to another process.
+
+        Unlike :meth:`snapshot` (human/JSON summaries), the dump keeps
+        structured label keys and raw histogram samples so a receiving
+        registry can merge it additively with :meth:`merge_state`.
+        Workers dump-and-reset per work chunk; the parent merges each
+        delta, so fleet-wide metrics survive process boundaries.
+        """
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, metric in sorted(self.metrics().items()):
+            data = metric.dump()
+            if data:
+                out[metric.kind + "s"][name] = data
+        return out
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a :meth:`dump_state` payload from another process in:
+        counters add, gauges take the shipped (latest) value, histogram
+        samples flow through the local reservoirs."""
+        for name, entries in (state.get("counters") or {}).items():
+            metric = self.counter(name)
+            for key_pairs, value in entries:
+                if value:
+                    key = tuple(tuple(pair) for pair in key_pairs)
+                    metric._child_by_key(key).inc(value)
+        for name, entries in (state.get("gauges") or {}).items():
+            metric = self.gauge(name)
+            for key_pairs, value in entries:
+                key = tuple(tuple(pair) for pair in key_pairs)
+                metric._child_by_key(key).set(value)
+        for name, entries in (state.get("histograms") or {}).items():
+            metric = self.histogram(name)
+            for key_pairs, child_state in entries:
+                if child_state.get("count"):
+                    key = tuple(tuple(pair) for pair in key_pairs)
+                    metric._child_by_key(key).merge(child_state)
 
 
 # -- process-wide registry ---------------------------------------------------

@@ -135,6 +135,12 @@ def _render_telemetry(telemetry: dict) -> str:
     whatif = _render_whatif(counters)
     if whatif:
         sections.append(whatif)
+    workers = _render_parallel(counters)
+    if workers:
+        sections.append(workers)
+    profiler = _render_profiler(telemetry.get("profiler"))
+    if profiler:
+        sections.append(profiler)
     if counters:
         lines = ["counters:"]
         for name, by_label in sorted(counters.items()):
@@ -199,6 +205,71 @@ def _render_whatif(counters: dict) -> str:
     ]
     if analyze_hits:
         lines.append(f"  analyze cache hits = {analyze_hits:g}")
+    return "\n".join(lines)
+
+
+def _label_value(label: str, key: str) -> str:
+    for part in label.split(","):
+        k, _, v = part.partition("=")
+        if k == key:
+            return v
+    return ""
+
+
+def _render_parallel(counters: dict) -> str:
+    """Per-worker merge-back accounting from a ``--jobs N`` run."""
+    chunks = counters.get("parallel.worker.chunks") or {}
+    if not chunks:
+        return ""
+    spans = counters.get("parallel.worker.spans") or {}
+    seconds = counters.get("parallel.worker.seconds") or {}
+    nbytes = counters.get("parallel.worker.bytes") or {}
+    total_seconds = sum(seconds.values())
+    lines = [
+        "parallel workers:",
+        _row("worker", "chunks", "spans", "wall ms", "merge-back"),
+        "-" * 74,
+    ]
+    for label in sorted(chunks):
+        pid = _label_value(label, "pid") or label
+        secs = seconds.get(label, 0.0)
+        share = f" ({secs / total_seconds:.0%})" if total_seconds else ""
+        lines.append(
+            _row(
+                f"pid {pid}",
+                f"{chunks.get(label, 0):g}",
+                f"{spans.get(label, 0):g}",
+                f"{secs * 1e3:.2f}{share}",
+                f"{nbytes.get(label, 0.0) / 1024:.1f} KiB",
+            )
+        )
+    return "\n".join(lines)
+
+
+def _render_profiler(profiler: Any) -> str:
+    """Top sampled frames from an attached profiler summary."""
+    if not isinstance(profiler, dict) or not profiler.get("samples"):
+        return ""
+    lines = [
+        (
+            f"profiler: {profiler.get('samples', 0)} samples at "
+            f"{profiler.get('hz', 0):g} Hz over "
+            f"{profiler.get('wall_seconds', 0.0):.2f}s "
+            f"(overhead {profiler.get('overhead_pct', 0.0):.2f}%)"
+        ),
+    ]
+    for frame in (profiler.get("top_frames") or [])[:10]:
+        lines.append(
+            f"  {frame.get('pct', 0.0):>5.1f}%  {frame.get('samples', 0):>6}  "
+            f"{frame.get('frame', '?')}"
+        )
+    regions = profiler.get("regions") or {}
+    if regions:
+        hot = sorted(regions.items(), key=lambda kv: (-kv[1], kv[0]))
+        lines.append(
+            "  regions: "
+            + ", ".join(f"{name} ({count})" for name, count in hot[:5])
+        )
     return "\n".join(lines)
 
 

@@ -37,7 +37,7 @@ from typing import Collection, Iterable, Optional
 
 from ..catalog import Index
 from ..engine import Database
-from ..obs import counter, histogram
+from ..obs import counter, histogram, profile
 from ..sqlparser import ast
 from .analysis_cache import LRUCache, analyze_cached
 from .optimizer import Optimizer, Statement
@@ -273,14 +273,17 @@ class CostEvaluator:
         """
         items = list(queries)
         n_jobs = self.jobs if jobs is None else max(1, int(jobs))
-        if n_jobs > 1 and len(items) > 1:
-            costs = self._parallel_costs(items, config, n_jobs)
-            if costs is not None:
-                return sum(
-                    weight * cost
-                    for (_stmt, weight), cost in zip(items, costs)
-                )
-        return sum(weight * self.cost(stmt, config) for stmt, weight in items)
+        with profile("whatif.workload_cost"):
+            if n_jobs > 1 and len(items) > 1:
+                costs = self._parallel_costs(items, config, n_jobs)
+                if costs is not None:
+                    return sum(
+                        weight * cost
+                        for (_stmt, weight), cost in zip(items, costs)
+                    )
+            return sum(
+                weight * self.cost(stmt, config) for stmt, weight in items
+            )
 
     def _parallel_costs(
         self,
@@ -327,11 +330,17 @@ class CostEvaluator:
                 fast_path=self.fast_path,
                 jobs=jobs,
             )
-        costs, calls, exported = self._pool.costs(sqls, list(config), jobs)
+        costs, stats, exported = self._pool.costs(sqls, list(config), jobs)
         if costs is None:
             return None
         # Merge worker work back into this evaluator's accounting/caches.
-        self.optimizer.calls += calls
+        # The pool already merged the workers' *registry* deltas; mirroring
+        # the same deltas onto the instance attributes keeps the documented
+        # lockstep between e.g. ``cache_hits`` and ``whatif.cache_hits``.
+        self.optimizer.calls += stats.get("optimizer_calls", 0)
+        self.cache_hits += stats.get("cache_hits", 0)
+        self.canonical_hits += stats.get("canonical_hits", 0)
+        self.cache_evictions += stats.get("cache_evictions", 0)
         for sql, config_keys, used_keys, plan in exported:
             self._plan_cache.put((sql, config_keys), plan)
             if used_keys is not None:

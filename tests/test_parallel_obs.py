@@ -1,0 +1,198 @@
+"""Cross-process telemetry: worker spans and metrics merge into one view.
+
+A ``--jobs N`` costing run must not be an observability black hole: every
+worker ships its finished spans and its metrics-registry delta back with
+the chunk results, and the parent splices them into its own tracer and
+registry.  These tests pin the invariants: spliced spans carry worker
+pids and hang under the submitting span, jobs=1 and jobs=4 produce the
+same span tree modulo the ``parallel.chunk`` subtrees, and no counter is
+lost to a worker process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.baselines.cost_eval import candidate_pool
+from repro.core import AimAdvisor, AimConfig
+from repro.obs import Tracer, get_registry, get_tracer, set_tracer
+from repro.obs.tracer import TRACE_WIRE_FORMAT
+from repro.optimizer import CostEvaluator
+from repro.workload import Workload
+
+BUDGET = 20 << 20
+
+
+@pytest.fixture()
+def tracer():
+    fresh = Tracer()
+    previous = set_tracer(fresh)
+    get_registry().reset()
+    yield fresh
+    set_tracer(previous)
+    get_registry().reset()
+
+
+def _workload() -> Workload:
+    return Workload.from_sql([
+        ("SELECT amount FROM orders WHERE created < 10000", 50.0),
+        ("SELECT name FROM users WHERE city = 'c3' AND age > 75", 30.0),
+        ("SELECT u.name, o.amount FROM users u, orders o "
+         "WHERE u.id = o.user_id AND o.status = 'paid' AND u.city = 'c1'",
+         20.0),
+        ("SELECT status, COUNT(*) FROM orders GROUP BY status", 5.0),
+        ("UPDATE orders SET status = 'done' WHERE oid = 5", 2.0),
+    ])
+
+
+def _parallel_cost(db, tracer, jobs=4):
+    ev = CostEvaluator(db, jobs=jobs)
+    pairs = list(_workload().pairs())
+    config = candidate_pool(
+        CostEvaluator(db), _workload(), max_width=2, with_permutations=False
+    )
+    try:
+        with tracer.span("costing.root"):
+            ev.workload_cost(pairs, config)
+    finally:
+        ev.close()
+    return ev
+
+
+def test_worker_spans_spliced_under_parent(db, tracer):
+    _parallel_cost(db, tracer)
+    chunks = tracer.find("parallel.chunk")
+    assert chunks, "no worker spans came back"
+    own_pid = os.getpid()
+    pids = {span.pid for span in chunks}
+    assert all(pid is not None and pid != own_pid for pid in pids)
+    root = tracer.roots()[0]
+    assert root.name == "costing.root"
+
+    def all_spans(span):
+        yield span
+        for child in span.children:
+            yield from all_spans(child)
+
+    assert {s.span_id for s in all_spans(root)} >= {
+        s.span_id for s in chunks
+    }, "chunk spans must hang under the submitting span"
+    # Chunk indexes are deterministic and complete.
+    indexes = sorted(span.attrs["chunk"] for span in chunks)
+    assert indexes == list(range(len(indexes)))
+
+
+def test_span_tree_jobs_invariant(db, tracer):
+    """jobs=1 and jobs=4 runs produce the same advisor span tree, modulo
+    the ``parallel.chunk`` subtrees (which only exist under the pool)."""
+
+    def tree(span):
+        return (
+            span.name,
+            tuple(
+                tree(c) for c in span.children if c.name != "parallel.chunk"
+            ),
+        )
+
+    def advisor_tree(jobs):
+        fresh = Tracer()
+        previous = set_tracer(fresh)
+        try:
+            AimAdvisor(db, AimConfig(jobs=jobs)).recommend(_workload(), BUDGET)
+        finally:
+            set_tracer(previous)
+        return [tree(root) for root in fresh.roots()]
+
+    assert advisor_tree(1) == advisor_tree(4)
+
+
+def test_worker_metrics_merged_into_registry(db, tracer):
+    registry = get_registry()
+    ev = _parallel_cost(db, tracer)
+    counters = registry.snapshot()["counters"]
+    # Lockstep between evaluator attributes (worker deltas merged in
+    # _parallel_costs) and registry counters (worker dump_state merged by
+    # the pool): neither side may lose worker work.
+    assert sum(counters["optimizer.calls"].values()) == ev.optimizer.calls
+    assert sum(counters.get("whatif.cache_hits", {}).values()) == ev.cache_hits
+    # Per-worker merge-back accounting exists and is labeled by pid.
+    chunks = counters["parallel.worker.chunks"]
+    assert chunks and all(label.startswith("pid=") for label in chunks)
+    assert sum(chunks.values()) == len(tracer.find("parallel.chunk"))
+    assert sum(counters["parallel.worker.bytes"].values()) > 0
+
+
+def test_chrome_trace_worker_lanes(db, tracer, tmp_path):
+    _parallel_cost(db, tracer)
+    path = tmp_path / "trace.json"
+    tracer.write_chrome_trace(str(path))
+    trace = json.loads(path.read_text())
+    events = trace["traceEvents"]
+    own_pid = os.getpid()
+    complete_pids = {e["pid"] for e in events if e["ph"] == "X"}
+    assert own_pid in complete_pids
+    worker_pids = complete_pids - {own_pid}
+    assert worker_pids, "worker spans must land in their own pid lanes"
+    names = {
+        e["pid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert names[own_pid] == "repro"
+    for pid in worker_pids:
+        assert names[pid] == f"worker-{pid}"
+
+
+def test_splice_wire_remaps_span_ids(tracer):
+    """Worker-local span ids collide across processes; splicing must
+    assign fresh parent-side ids."""
+    worker = Tracer()
+    with worker.span("parallel.chunk", chunk=0):
+        with worker.span("inner"):
+            pass
+    payload = worker.export_wire()
+    assert payload["format"] == TRACE_WIRE_FORMAT
+
+    with tracer.span("root") as root:
+        pass
+    local_ids = {s.span_id for s in tracer.spans()}
+    grafted = tracer.splice_wire(payload, parent=root)
+    assert [g.name for g in grafted] == ["parallel.chunk"]
+    chunk = grafted[0]
+    assert chunk.pid == payload["pid"]
+    assert chunk.span_id not in local_ids
+    assert chunk.children[0].name == "inner"
+    assert root.children == [chunk]
+    # Spliced spans are finished spans: durations are real.
+    assert chunk.end is not None and chunk.duration >= 0.0
+
+
+def test_splice_wire_rejects_unknown_format(tracer):
+    with pytest.raises(ValueError):
+        tracer.splice_wire({"format": "something.else", "v": 1, "spans": []})
+    with pytest.raises(ValueError):
+        tracer.splice_wire({"format": TRACE_WIRE_FORMAT, "v": 99, "spans": []})
+
+
+def test_parallel_disabled_tracer_ships_no_spans(db):
+    """With tracing disabled the pool still merges metrics but splices
+    nothing (worker tracers are born disabled too)."""
+    fresh = Tracer(enabled=False)
+    previous = set_tracer(fresh)
+    get_registry().reset()
+    try:
+        ev = CostEvaluator(db, jobs=4)
+        pairs = list(_workload().pairs())
+        try:
+            ev.workload_cost(pairs, [])
+        finally:
+            ev.close()
+        assert fresh.spans() == []
+        counters = get_registry().snapshot()["counters"]
+        assert sum(counters["optimizer.calls"].values()) == ev.optimizer.calls
+    finally:
+        set_tracer(previous)
+        get_registry().reset()
